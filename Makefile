@@ -1,0 +1,47 @@
+# Convenience targets for the acedo reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench tables vet fmt cover fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test: build vet
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One testing.B benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (21 simulations, ~20 s single-core).
+tables:
+	$(GO) run ./cmd/acetables
+
+tables-threecu:
+	$(GO) run ./cmd/acetables -threecu
+
+tables-detectors:
+	$(GO) run ./cmd/acetables -detectors
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Short fuzzing sessions for the differential targets.
+fuzz:
+	$(GO) test -fuzz=FuzzEngineVsReference -fuzztime=20s ./internal/vm
+	$(GO) test -fuzz=FuzzCacheVsReference -fuzztime=20s ./internal/cache
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,58 @@
+// Command acedump inspects a benchmark program: its methods, static
+// sizes, disassembly, and the static analyzer's footprint estimates —
+// the information the JIT-side of the framework works from.
+//
+// Usage:
+//
+//	acedump -bench compress            # method summary + footprints
+//	acedump -bench db -method leaf_key # disassemble one method
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acedo"
+	"acedo/internal/program"
+)
+
+func main() {
+	bench := flag.String("bench", "compress", "benchmark name")
+	method := flag.String("method", "", "disassemble this method instead of summarizing")
+	flag.Parse()
+
+	spec, ok := acedo.BenchmarkByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acedump: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acedump: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *method != "" {
+		for _, m := range prog.Methods {
+			if m.Name == *method {
+				fmt.Print(m.Disassemble())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "acedump: no method %q in %s\n", *method, spec.Name)
+		os.Exit(2)
+	}
+
+	analyzer := acedo.NewAnalyzer(prog)
+	fmt.Printf("program %s: %d methods, %d static instructions, %d words of data memory\n\n",
+		prog.Name, prog.NumMethods(), prog.TotalStaticInstrs, prog.MemWords)
+	fmt.Printf("%-4s %-18s %8s %8s %14s\n", "id", "method", "blocks", "instrs", "est. footprint")
+	for _, m := range prog.Methods {
+		foot := analyzer.Footprint(program.MethodID(m.ID))
+		fmt.Printf("m%-3d %-18s %8d %8d %11d B\n",
+			m.ID, m.Name, len(m.Blocks), m.StaticInstrs, foot)
+	}
+	fmt.Println("\nfootprints are the static analyzer's inclusive estimates (core.Analyzer);")
+	fmt.Println("use -method NAME for a disassembly.")
+}

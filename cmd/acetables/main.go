@@ -1,0 +1,99 @@
+// Command acetables regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §5) by running the whole benchmark suite under
+// the baseline, BBV, and hotspot schemes.
+//
+// Usage:
+//
+//	acetables              # everything
+//	acetables -table 4     # one table
+//	acetables -figure 3    # one figure
+//	acetables -scale 10    # scale divisor (default 10; 1 = paper scale)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"acedo/internal/experiment"
+	"acedo/internal/workload"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1-6)")
+	figure := flag.Int("figure", 0, "print only this figure (1, 3, 4)")
+	scale := flag.Uint64("scale", 10, "scale divisor for instruction-count parameters")
+	threeCU := flag.Bool("threecu", false, "run the three-CU extension (adds the issue-queue unit) and print its table")
+	jsonOut := flag.Bool("json", false, "emit the raw comparison results as JSON instead of tables")
+	detectors := flag.Bool("detectors", false, "run the phase-detector comparison (BBV vs working-set signatures vs hotspot)")
+	flag.Parse()
+
+	opt := experiment.OptionsAtScale(*scale)
+	if *threeCU {
+		opt = opt.WithThreeCU()
+	}
+	if *detectors {
+		start := time.Now()
+		var cs []*experiment.DetectorComparison
+		for _, spec := range workload.Suite() {
+			c, err := experiment.CompareDetectors(spec, opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
+				os.Exit(1)
+			}
+			cs = append(cs, c)
+		}
+		fmt.Fprintf(os.Stderr, "acetables: 28 simulations in %.1fs\n", time.Since(start).Seconds())
+		experiment.DetectorTable(os.Stdout, cs)
+		return
+	}
+	start := time.Now()
+	res, err := experiment.Collect(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "acetables: 21 simulations in %.1fs\n", time.Since(start).Seconds())
+
+	w := os.Stdout
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Comparisons); err != nil {
+			fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *threeCU {
+		res.ExtensionThreeCU(w)
+		return
+	}
+	switch {
+	case *table == 1:
+		res.Table1(w)
+	case *table == 2:
+		res.Table2(w)
+	case *table == 3:
+		res.Table3(w)
+	case *table == 4:
+		res.Table4(w)
+	case *table == 5:
+		res.Table5(w)
+	case *table == 6:
+		res.Table6(w)
+	case *figure == 1:
+		res.Figure1(w)
+	case *figure == 3:
+		res.Figure3(w)
+	case *figure == 4:
+		res.Figure4(w)
+	case *table == 0 && *figure == 0:
+		res.WriteAll(w)
+	default:
+		fmt.Fprintf(os.Stderr, "acetables: no such table/figure\n")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,88 @@
+// Command acetrace runs a benchmark under the hotspot framework and
+// renders the adaptation timeline: which cache sizes were active when,
+// at what granularity each unit was reconfigured, and where hotspots
+// were promoted — the paper's multi-grain adaptation made visible.
+//
+// Usage:
+//
+//	acetrace -bench compress [-cols 100] [-threecu]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acedo"
+	"acedo/internal/machine"
+	"acedo/internal/trace"
+	"acedo/internal/vm"
+)
+
+func main() {
+	bench := flag.String("bench", "compress", "benchmark name")
+	cols := flag.Int("cols", 100, "timeline columns")
+	threeCU := flag.Bool("threecu", false, "enable the issue-queue unit")
+	flag.Parse()
+
+	spec, ok := acedo.BenchmarkByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "acetrace: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	opt := acedo.DefaultOptions()
+	if *threeCU {
+		opt = opt.WithThreeCU()
+	}
+
+	prog, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
+		os.Exit(1)
+	}
+	mach, err := machine.New(opt.Machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	var rec trace.Recorder
+	mach.OnReconfigure = rec.Reconfig
+
+	aos := vm.NewAOS(opt.VM, mach, prog)
+	mgr, err := acedo.NewManager(opt.Core, mach, aos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
+		os.Exit(1)
+	}
+	// Chain a promotion recorder after the manager's subscription.
+	inner := aos.OnPromote
+	aos.OnPromote = func(p *vm.MethodProfile) {
+		rec.Promotion(p.Name, mach.Instructions())
+		if inner != nil {
+			inner(p)
+		}
+	}
+
+	eng, err := vm.NewEngine(prog, mach, aos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := eng.Run(0); err != nil {
+		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark %s under the hotspot framework (%d instructions)\n\n",
+		spec.Name, mach.Instructions())
+	rec.Timeline(os.Stdout, mach.Instructions(), *cols)
+
+	fmt.Println("\nhotspot configurations:")
+	for _, h := range mgr.Hotspots() {
+		for i, u := range h.Units() {
+			fmt.Printf("  %-16s %-4s -> %v (%s)\n",
+				h.Prof.Name, u.Name(), u.Setting(h.BestConfig()[i]), h.State())
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Energytuning reproduces the paper's headline result on a single
+// benchmark: cache energy reduction of the hotspot framework versus
+// the BBV comparator versus the full-size baseline (Figures 3 and 4),
+// with the per-hotspot configuration choices that produce it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"acedo"
+)
+
+func main() {
+	bench := flag.String("bench", "db", "benchmark name")
+	flag.Parse()
+
+	spec, ok := acedo.BenchmarkByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+
+	cmp, err := acedo.CompareSchemes(spec, acedo.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s (%s)\n\n", spec.Name, spec.Desc)
+	fmt.Printf("%-10s %14s %10s %12s %12s\n", "scheme", "cycles", "IPC", "L1D mJ", "L2 mJ")
+	for _, r := range []*acedo.Result{cmp.Base, cmp.BBVRun, cmp.HotRun} {
+		fmt.Printf("%-10s %14d %10.3f %12.3f %12.3f\n",
+			r.Scheme, r.Cycles, r.IPC, r.L1DEnergyNJ/1e6, r.L2EnergyNJ/1e6)
+	}
+
+	fmt.Printf("\nenergy reduction vs baseline (paper Figure 3):\n")
+	fmt.Printf("  L1D:  BBV %5.1f%%   hotspot %5.1f%%\n", 100*cmp.L1DSavingBBV, 100*cmp.L1DSavingHot)
+	fmt.Printf("  L2:   BBV %5.1f%%   hotspot %5.1f%%\n", 100*cmp.L2SavingBBV, 100*cmp.L2SavingHot)
+	fmt.Printf("performance degradation (paper Figure 4):\n")
+	fmt.Printf("  BBV %.2f%%   hotspot %.2f%%\n", 100*cmp.SlowdownBBV, 100*cmp.SlowdownHot)
+
+	h := cmp.HotRun.Hotspot
+	fmt.Printf("\nframework activity:\n")
+	fmt.Printf("  L1D: %d hotspots, %d tunings, %d reconfigurations, %.1f%% coverage\n",
+		h.L1D.Hotspots, h.L1D.Tunings, h.L1D.Reconfigs, 100*h.L1D.Coverage)
+	fmt.Printf("  L2:  %d hotspots, %d tunings, %d reconfigurations, %.1f%% coverage\n",
+		h.L2.Hotspots, h.L2.Tunings, h.L2.Reconfigs, 100*h.L2.Coverage)
+	fmt.Printf("  re-tunes after behaviour drift: %d\n", h.Retunes)
+}

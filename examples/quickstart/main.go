@@ -1,0 +1,109 @@
+// Quickstart: build a tiny program with the public API, run it under
+// the hotspot ACE management framework, and watch the framework detect
+// the hotspot, tune the L1 data cache, and save energy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acedo"
+)
+
+// buildProgram assembles a program whose hot method repeatedly walks a
+// 4 KB array — a classic small-working-set hotspot that should end up
+// on a small L1D configuration.
+func buildProgram() *acedo.Program {
+	b := acedo.NewBuilder("quickstart")
+	b.SetMemWords(1024)
+
+	main := b.NewMethod("main")
+	hot := b.NewMethod("hot")
+
+	// hot: for rep in 0..2 { for i in 0..512 { acc += a[i] } }
+	entry := hot.NewBlock()
+	entry.Const(4, 0)  // array base
+	entry.Const(11, 0) // rep counter
+	entry.Const(12, 2) // reps
+	rep := hot.NewBlock()
+	rep.Const(5, 0)   // index
+	rep.Const(6, 512) // words
+	loop := hot.NewBlock()
+	loop.Add(7, 4, 5)
+	loop.Load(8, 7, 0)
+	loop.Add(9, 9, 8)
+	loop.AddI(5, 5, 1)
+	loop.CmpLt(10, 5, 6)
+	loop.Br(10, loop.Index())
+	tail := hot.NewBlock()
+	tail.AddI(11, 11, 1)
+	tail.CmpLt(10, 11, 12)
+	tail.Br(10, rep.Index())
+	hot.NewBlock().Ret(9)
+
+	// main: call hot 500 times, then halt.
+	me := main.NewBlock()
+	me.Const(16, 0)
+	me.Const(17, 500)
+	ml := main.NewBlock()
+	ml.Call(15, hot.ID())
+	ml.AddI(16, 16, 1)
+	ml.CmpLt(18, 16, 17)
+	ml.Br(18, ml.Index())
+	main.NewBlock().Halt()
+
+	b.SetEntry(main.ID())
+	return b.MustBuild()
+}
+
+func run(prog *acedo.Program, adaptive bool) (*acedo.Machine, *acedo.Manager) {
+	mach, err := acedo.NewMachine(acedo.PaperMachineConfig(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vp := acedo.DefaultVMParams()
+	vp.HotThreshold = 5
+	vp.MinSamples = 1
+	aos := acedo.NewAOS(vp, mach, prog)
+
+	var mgr *acedo.Manager
+	if adaptive {
+		mgr, err = acedo.NewManager(acedo.DefaultManagerParams(10), mach, aos)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := acedo.NewEngine(prog, mach, aos)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	return mach, mgr
+}
+
+func main() {
+	prog := buildProgram()
+
+	base, _ := run(prog, false)
+	baseSnap := base.Snapshot()
+	fmt.Printf("baseline:  %d instructions, IPC %.2f, L1D energy %.3g mJ (cache fixed at 64 KB)\n",
+		baseSnap.Instr, baseSnap.IPC(), baseSnap.L1DnJ/1e6)
+
+	mach, mgr := run(buildProgram(), true)
+	snap := mach.Snapshot()
+	fmt.Printf("adaptive:  %d instructions, IPC %.2f, L1D energy %.3g mJ\n",
+		snap.Instr, snap.IPC(), snap.L1DnJ/1e6)
+
+	for _, h := range mgr.Hotspots() {
+		fmt.Printf("\nhotspot %q: class=%s state=%s tuned=%v\n",
+			h.Prof.Name, h.Class, h.State(), h.TunedOK)
+		for i, u := range h.Units() {
+			fmt.Printf("  chose %s = %d KB (settings %v)\n",
+				u.Name(), u.Setting(h.BestConfig()[i])/1024, u.Settings())
+		}
+	}
+	fmt.Printf("\nL1D energy saving vs baseline: %.1f%%\n",
+		100*(baseSnap.L1DnJ-snap.L1DnJ)/baseSnap.L1DnJ)
+}

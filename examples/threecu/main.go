@@ -1,0 +1,51 @@
+// Threecu enables the extension third configurable unit — the
+// 16/32/48/64-entry issue queue the paper says it was implementing
+// ("we are implementing several more CUs, such as the issue window
+// and the reorder buffer") — and shows the paper's scalability
+// argument in action: the BBV comparator must now explore 64
+// combinatorial configurations while CU decoupling still tests 4 per
+// hotspot, with small (micro-class) hotspots adapting the window.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"acedo"
+)
+
+func main() {
+	bench := flag.String("bench", "jess", "benchmark name")
+	flag.Parse()
+
+	spec, ok := acedo.BenchmarkByName(*bench)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	opt := acedo.DefaultOptions().WithThreeCU()
+
+	cmp, err := acedo.CompareSchemes(spec, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s with three configurable units\n\n", spec.Name)
+	fmt.Printf("%-28s %10s %10s\n", "", "BBV", "hotspot")
+	fmt.Printf("%-28s %10d %10d\n", "configs per phase/hotspot", 64, 4)
+	fmt.Printf("%-28s %9.1f%% %9.1f%%\n", "IQ energy saving", 100*cmp.IQSavingBBV, 100*cmp.IQSavingHot)
+	fmt.Printf("%-28s %9.1f%% %9.1f%%\n", "L1D energy saving", 100*cmp.L1DSavingBBV, 100*cmp.L1DSavingHot)
+	fmt.Printf("%-28s %9.1f%% %9.1f%%\n", "L2 energy saving", 100*cmp.L2SavingBBV, 100*cmp.L2SavingHot)
+	fmt.Printf("%-28s %9.2f%% %9.2f%%\n", "slowdown", 100*cmp.SlowdownBBV, 100*cmp.SlowdownHot)
+	fmt.Printf("%-28s %9.1f%% %9.1f%%\n", "tuning completed",
+		100*cmp.BBVRun.BBV.PctIntervalsInTuned, 100*cmp.HotRun.Hotspot.TunedPct)
+
+	h := cmp.HotRun.Hotspot
+	fmt.Printf("\nhotspot framework classes: %d micro (IQ), %d L1D, %d L2, %d below class\n",
+		h.Micro.Hotspots, h.L1D.Hotspots, h.L2.Hotspots, h.Unmanaged)
+	fmt.Printf("micro-class activity: %d tunings, %d reconfigurations, %.1f%% coverage\n",
+		h.Micro.Tunings, h.Micro.Reconfigs, 100*h.Micro.Coverage)
+	fmt.Println("\nWith a third CU the temporal approach's combinatorial search grows")
+	fmt.Println("4x while CU decoupling's per-hotspot work is unchanged — the")
+	fmt.Println("scalability property of paper Sections 2.3 and 6.")
+}

@@ -1,0 +1,3 @@
+module acedo
+
+go 1.22

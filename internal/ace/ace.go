@@ -1,0 +1,188 @@
+// Package ace models the adaptive computing environment's hardware
+// support (paper Section 3.4): each configurable unit (CU) has a
+// control register whose value selects a fixed setting, a special
+// instruction to write that register (modelled as the Request call),
+// and a per-CU hardware counter holding the time of the last accepted
+// reconfiguration. A request arriving before the CU's reconfiguration
+// interval has elapsed is ignored without modifying the configuration,
+// freeing the software framework from tracking minimum intervals.
+package ace
+
+import "fmt"
+
+// Unit is one configurable hardware unit: a named list of settings
+// (for the caches, sizes in bytes, ascending) plus the guard state.
+// The apply callback performs the actual hardware change (cache resize,
+// meter epoch switch, flush-cost charging).
+type Unit struct {
+	name     string
+	settings []int
+
+	current  int // index into settings
+	interval uint64
+	lastAt   uint64
+	everSet  bool
+
+	apply func(setting int, nowInstr uint64)
+
+	stats UnitStats
+}
+
+// UnitStats counts reconfiguration requests.
+type UnitStats struct {
+	// Requests counts all Request calls.
+	Requests uint64
+	// Applied counts requests that changed the configuration.
+	Applied uint64
+	// Ignored counts requests rejected by the reconfiguration-
+	// interval guard.
+	Ignored uint64
+	// Redundant counts requests for the already-active setting.
+	Redundant uint64
+}
+
+// NewUnit constructs a configurable unit.
+//
+// settings lists the selectable values in ascending order; startIndex
+// selects the initial one (applied immediately via apply, at time 0).
+// interval is the reconfiguration interval in instructions. apply is
+// invoked for every accepted change; it must not call back into the
+// Unit.
+func NewUnit(name string, settings []int, startIndex int, interval uint64, apply func(setting int, nowInstr uint64)) (*Unit, error) {
+	if len(settings) == 0 {
+		return nil, fmt.Errorf("ace: unit %s: no settings", name)
+	}
+	for i := 1; i < len(settings); i++ {
+		if settings[i] <= settings[i-1] {
+			return nil, fmt.Errorf("ace: unit %s: settings not strictly ascending", name)
+		}
+	}
+	if startIndex < 0 || startIndex >= len(settings) {
+		return nil, fmt.Errorf("ace: unit %s: start index %d out of range", name, startIndex)
+	}
+	if apply == nil {
+		return nil, fmt.Errorf("ace: unit %s: nil apply callback", name)
+	}
+	u := &Unit{
+		name:     name,
+		settings: settings,
+		current:  startIndex,
+		interval: interval,
+		apply:    apply,
+	}
+	u.apply(settings[startIndex], 0)
+	return u, nil
+}
+
+// MustNewUnit is NewUnit that panics on error.
+func MustNewUnit(name string, settings []int, startIndex int, interval uint64, apply func(setting int, nowInstr uint64)) *Unit {
+	u, err := NewUnit(name, settings, startIndex, interval, apply)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Name returns the unit's name.
+func (u *Unit) Name() string { return u.name }
+
+// NumSettings returns the number of selectable settings.
+func (u *Unit) NumSettings() int { return len(u.settings) }
+
+// Settings returns a copy of the setting list.
+func (u *Unit) Settings() []int {
+	out := make([]int, len(u.settings))
+	copy(out, u.settings)
+	return out
+}
+
+// Setting returns the value of setting index i.
+func (u *Unit) Setting(i int) int { return u.settings[i] }
+
+// CurrentIndex returns the active setting's index.
+func (u *Unit) CurrentIndex() int { return u.current }
+
+// Current returns the active setting's value.
+func (u *Unit) Current() int { return u.settings[u.current] }
+
+// MaxIndex returns the index of the largest setting.
+func (u *Unit) MaxIndex() int { return len(u.settings) - 1 }
+
+// Interval returns the reconfiguration interval in instructions.
+func (u *Unit) Interval() uint64 { return u.interval }
+
+// Stats returns a copy of the request counters.
+func (u *Unit) Stats() UnitStats { return u.stats }
+
+// Request asks the CU to switch to setting index i at instruction time
+// nowInstr (the special configuration instruction). It returns true if
+// the configuration changed. Requests for the active setting are
+// redundant no-ops; requests arriving within the reconfiguration
+// interval of the last accepted change are ignored by the hardware
+// guard counter.
+func (u *Unit) Request(i int, nowInstr uint64) bool {
+	u.stats.Requests++
+	if i < 0 || i >= len(u.settings) {
+		// A malformed register write selects nothing; treat as
+		// ignored rather than panicking the "hardware".
+		u.stats.Ignored++
+		return false
+	}
+	if i == u.current {
+		u.stats.Redundant++
+		return false
+	}
+	if u.everSet && nowInstr-u.lastAt < u.interval {
+		u.stats.Ignored++
+		return false
+	}
+	u.current = i
+	u.lastAt = nowInstr
+	u.everSet = true
+	u.stats.Applied++
+	u.apply(u.settings[i], nowInstr)
+	return true
+}
+
+// Combinations enumerates every combinatorial configuration of the
+// given units as setting-index vectors, in an order that tests larger
+// settings first (the straightforward all-combinations tuning strategy
+// of the temporal approaches, Section 2.3). The first element is the
+// all-largest configuration.
+func Combinations(units []*Unit) [][]int {
+	if len(units) == 0 {
+		return nil
+	}
+	total := 1
+	for _, u := range units {
+		total *= u.NumSettings()
+	}
+	out := make([][]int, 0, total)
+	cur := make([]int, len(units))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(units) {
+			v := make([]int, len(cur))
+			copy(v, cur)
+			out = append(out, v)
+			return
+		}
+		for i := units[d].NumSettings() - 1; i >= 0; i-- {
+			cur[d] = i
+			rec(d + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Descending enumerates a single unit's settings from largest to
+// smallest as one-element index vectors — the decoupled per-CU
+// configuration list the hotspot tuner walks.
+func Descending(u *Unit) [][]int {
+	out := make([][]int, 0, u.NumSettings())
+	for i := u.NumSettings() - 1; i >= 0; i-- {
+		out = append(out, []int{i})
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package ace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func newTestUnit(t *testing.T, interval uint64) (*Unit, *[]int) {
+	t.Helper()
+	var applied []int
+	u, err := NewUnit("u", []int{8, 16, 32, 64}, 3, interval, func(s int, _ uint64) {
+		applied = append(applied, s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, &applied
+}
+
+func TestNewUnitAppliesStartSetting(t *testing.T) {
+	u, applied := newTestUnit(t, 100)
+	if !reflect.DeepEqual(*applied, []int{64}) {
+		t.Errorf("initial apply = %v, want [64]", *applied)
+	}
+	if u.Current() != 64 || u.CurrentIndex() != 3 || u.MaxIndex() != 3 {
+		t.Errorf("initial state wrong: %d/%d", u.Current(), u.CurrentIndex())
+	}
+}
+
+func TestNewUnitValidation(t *testing.T) {
+	apply := func(int, uint64) {}
+	cases := []struct {
+		name     string
+		settings []int
+		start    int
+		apply    func(int, uint64)
+	}{
+		{"empty settings", nil, 0, apply},
+		{"not ascending", []int{16, 8}, 0, apply},
+		{"duplicate", []int{8, 8}, 0, apply},
+		{"start out of range", []int{8, 16}, 2, apply},
+		{"nil apply", []int{8, 16}, 0, nil},
+	}
+	for _, c := range cases {
+		if _, err := NewUnit("u", c.settings, c.start, 10, c.apply); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestRequestAppliesChange(t *testing.T) {
+	u, applied := newTestUnit(t, 100)
+	if !u.Request(0, 50) {
+		t.Fatal("first change should be accepted")
+	}
+	if u.Current() != 8 {
+		t.Errorf("Current = %d, want 8", u.Current())
+	}
+	if (*applied)[len(*applied)-1] != 8 {
+		t.Error("apply callback not invoked with new setting")
+	}
+	st := u.Stats()
+	if st.Requests != 1 || st.Applied != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRequestRedundantIsNoop(t *testing.T) {
+	u, applied := newTestUnit(t, 100)
+	before := len(*applied)
+	if u.Request(3, 50) {
+		t.Error("request for active setting should return false")
+	}
+	if len(*applied) != before {
+		t.Error("redundant request must not invoke apply")
+	}
+	if u.Stats().Redundant != 1 {
+		t.Errorf("stats = %+v", u.Stats())
+	}
+}
+
+func TestGuardIgnoresEarlyRequests(t *testing.T) {
+	u, _ := newTestUnit(t, 100)
+	if !u.Request(0, 50) {
+		t.Fatal("first change accepted")
+	}
+	if u.Request(1, 100) { // only 50 elapsed < 100
+		t.Error("request within the reconfiguration interval must be ignored")
+	}
+	if u.Current() != 8 {
+		t.Error("ignored request must not change the configuration")
+	}
+	if u.Stats().Ignored != 1 {
+		t.Errorf("stats = %+v", u.Stats())
+	}
+	if !u.Request(1, 150) { // 100 elapsed
+		t.Error("request after the interval should be accepted")
+	}
+}
+
+func TestGuardNotArmedBeforeFirstChange(t *testing.T) {
+	// The guard counter tracks the last reconfiguration; before any
+	// change, a request at time 0 must be accepted.
+	u, _ := newTestUnit(t, 1000)
+	if !u.Request(0, 0) {
+		t.Error("very first change should not be blocked by the guard")
+	}
+}
+
+func TestRedundantRequestDoesNotResetGuard(t *testing.T) {
+	u, _ := newTestUnit(t, 100)
+	u.Request(0, 50)  // change at t=50
+	u.Request(0, 120) // redundant; must not refresh the guard
+	if !u.Request(1, 151) {
+		t.Error("guard should measure from the last applied change")
+	}
+}
+
+func TestRequestOutOfRangeIgnored(t *testing.T) {
+	u, _ := newTestUnit(t, 100)
+	if u.Request(-1, 500) || u.Request(4, 500) {
+		t.Error("out-of-range settings must be ignored")
+	}
+	if u.Stats().Ignored != 2 {
+		t.Errorf("stats = %+v", u.Stats())
+	}
+}
+
+func TestSettingsAccessors(t *testing.T) {
+	u, _ := newTestUnit(t, 42)
+	if u.Name() != "u" || u.NumSettings() != 4 || u.Interval() != 42 {
+		t.Error("accessors wrong")
+	}
+	if u.Setting(1) != 16 {
+		t.Errorf("Setting(1) = %d", u.Setting(1))
+	}
+	s := u.Settings()
+	s[0] = 999
+	if u.Setting(0) == 999 {
+		t.Error("Settings must return a copy")
+	}
+}
+
+func TestCombinationsOrder(t *testing.T) {
+	a := MustNewUnit("a", []int{1, 2}, 1, 0, func(int, uint64) {})
+	b := MustNewUnit("b", []int{10, 20, 30}, 2, 0, func(int, uint64) {})
+	got := Combinations([]*Unit{a, b})
+	want := [][]int{
+		{1, 2}, {1, 1}, {1, 0},
+		{0, 2}, {0, 1}, {0, 0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Combinations = %v, want %v", got, want)
+	}
+	if Combinations(nil) != nil {
+		t.Error("Combinations(nil) should be nil")
+	}
+}
+
+func TestCombinationsFirstIsAllLargest(t *testing.T) {
+	a := MustNewUnit("a", []int{1, 2, 3, 4}, 0, 0, func(int, uint64) {})
+	b := MustNewUnit("b", []int{1, 2, 3, 4}, 0, 0, func(int, uint64) {})
+	combos := Combinations([]*Unit{a, b})
+	if len(combos) != 16 {
+		t.Fatalf("len = %d, want 16", len(combos))
+	}
+	if !reflect.DeepEqual(combos[0], []int{3, 3}) {
+		t.Errorf("first combo = %v, want [3 3]", combos[0])
+	}
+}
+
+func TestDescending(t *testing.T) {
+	a := MustNewUnit("a", []int{1, 2, 3}, 0, 0, func(int, uint64) {})
+	got := Descending(a)
+	want := [][]int{{2}, {1}, {0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Descending = %v, want %v", got, want)
+	}
+}

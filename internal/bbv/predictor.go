@@ -1,0 +1,99 @@
+package bbv
+
+// The paper deliberately runs its BBV comparator without a next-phase
+// predictor (Section 4.1: "this BBV implementation does not contain a
+// next phase predictor") while acknowledging that phase prediction
+// [Lau et al., Sherwood et al.] could improve its coverage. This file
+// supplies that predictor as an optional extension so the claim can be
+// tested: a run-length-encoded Markov predictor in the style of
+// Sherwood, Sair and Calder's "Phase Tracking and Prediction".
+//
+// The predictor maps (current phase, current run length) to the phase
+// that followed that state last time. At an interval boundary the
+// manager consults it to decide which phase's configuration to apply
+// for the *next* interval, instead of assuming the current phase
+// persists. Correct predictions let a tuned phase's configuration be
+// applied from its first interval; mispredictions apply a wrong
+// configuration for one interval, exactly the hazard the paper
+// describes ("incorrect predictions cause unnecessary or wrong
+// adaptations").
+
+// markovKey is the predictor's state: the phase just classified and
+// how many consecutive intervals it has run, bucketed to keep the
+// table small and general.
+type markovKey struct {
+	phase     int
+	runBucket uint8
+}
+
+// runBucketOf keeps run lengths exact up to 32 intervals (coarser
+// buckets alias states near the ends of long runs, making the
+// predictor fire early) and clamps beyond.
+func runBucketOf(n int) uint8 {
+	if n > 32 {
+		return 33
+	}
+	return uint8(n)
+}
+
+// Predictor is the RLE Markov next-phase predictor.
+type Predictor struct {
+	table map[markovKey]int
+
+	// last state, for learning transitions.
+	lastKey  markovKey
+	haveLast bool
+
+	stats PredictorStats
+}
+
+// PredictorStats counts prediction outcomes.
+type PredictorStats struct {
+	Predictions uint64
+	Correct     uint64
+}
+
+// Accuracy returns correct/predictions (0 with none).
+func (s PredictorStats) Accuracy() float64 {
+	if s.Predictions == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Predictions)
+}
+
+// NewPredictor constructs an empty predictor.
+func NewPredictor() *Predictor {
+	return &Predictor{table: make(map[markovKey]int)}
+}
+
+// Stats returns a copy of the outcome counters.
+func (p *Predictor) Stats() PredictorStats { return p.stats }
+
+// Observe records that the interval just classified belongs to phase
+// `phase` with the given run length, learning the transition from the
+// previous state and scoring the previous prediction.
+func (p *Predictor) Observe(phase, runLength int) {
+	key := markovKey{phase: phase, runBucket: runBucketOf(runLength)}
+	if p.haveLast {
+		if pred, ok := p.table[p.lastKey]; ok {
+			p.stats.Predictions++
+			if pred == phase {
+				p.stats.Correct++
+			}
+		}
+		p.table[p.lastKey] = phase
+	}
+	p.lastKey = key
+	p.haveLast = true
+}
+
+// Predict returns the phase expected for the next interval given the
+// current phase and run length. With no learned transition it falls
+// back to persistence (the current phase).
+func (p *Predictor) Predict(phase, runLength int) int {
+	key := markovKey{phase: phase, runBucket: runBucketOf(runLength)}
+	if next, ok := p.table[key]; ok {
+		return next
+	}
+	return phase
+}

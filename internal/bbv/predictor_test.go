@@ -1,0 +1,93 @@
+package bbv
+
+import (
+	"testing"
+)
+
+func TestRunBucketOf(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint8
+	}{{1, 1}, {4, 4}, {5, 5}, {8, 8}, {32, 32}, {33, 33}, {100, 33}}
+	for _, c := range cases {
+		if got := runBucketOf(c.n); got != c.want {
+			t.Errorf("runBucketOf(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPredictorLearnsAlternation(t *testing.T) {
+	p := NewPredictor()
+	// Phases alternate A(3 intervals), B(2 intervals), repeatedly.
+	seq := []struct{ phase, run int }{}
+	for i := 0; i < 12; i++ {
+		seq = append(seq,
+			struct{ phase, run int }{0, 1}, struct{ phase, run int }{0, 2}, struct{ phase, run int }{0, 3},
+			struct{ phase, run int }{1, 1}, struct{ phase, run int }{1, 2})
+	}
+	for _, s := range seq {
+		p.Observe(s.phase, s.run)
+	}
+	// At the end of A's third interval, B follows.
+	if got := p.Predict(0, 3); got != 1 {
+		t.Errorf("Predict(A,3) = %d, want B", got)
+	}
+	// Mid-run, A persists.
+	if got := p.Predict(0, 1); got != 0 {
+		t.Errorf("Predict(A,1) = %d, want A", got)
+	}
+	// At the end of B's second interval, A follows.
+	if got := p.Predict(1, 2); got != 0 {
+		t.Errorf("Predict(B,2) = %d, want A", got)
+	}
+	acc := p.Stats().Accuracy()
+	if acc < 0.8 {
+		t.Errorf("accuracy = %.2f on a perfectly periodic stream, want ≥0.8", acc)
+	}
+}
+
+func TestPredictorFallsBackToPersistence(t *testing.T) {
+	p := NewPredictor()
+	if got := p.Predict(7, 2); got != 7 {
+		t.Errorf("unlearned Predict = %d, want persistence", got)
+	}
+	if p.Stats().Predictions != 0 {
+		t.Error("no predictions should be scored before learning")
+	}
+}
+
+func TestPredictorStatsAccuracyEmpty(t *testing.T) {
+	var s PredictorStats
+	if s.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestManagerWithPredictorImprovesCoverage(t *testing.T) {
+	// On a strictly periodic program, the predictor lets a tuned
+	// phase's configuration be applied from the first interval of
+	// each recurrence, so coverage must not get worse and the
+	// predictor must be accurate.
+	prog := twoPhaseProgram(50)
+	base := DefaultParams(10)
+	mgrOff, _ := runBBV(t, prog, base)
+
+	withPred := DefaultParams(10)
+	withPred.UsePredictor = true
+	mgrOn, _ := runBBV(t, twoPhaseProgram(50), withPred)
+
+	off := mgrOff.Report()
+	on := mgrOn.Report()
+	if on.Predictor.Predictions == 0 {
+		t.Fatal("predictor recorded no predictions")
+	}
+	if acc := on.Predictor.Accuracy(); acc < 0.5 {
+		t.Errorf("predictor accuracy = %.2f on a periodic program", acc)
+	}
+	if on.Coverage+0.05 < off.Coverage {
+		t.Errorf("predictor reduced coverage: %.2f -> %.2f", off.Coverage, on.Coverage)
+	}
+	if off.Predictor.Predictions != 0 {
+		t.Error("predictor stats must be zero when disabled")
+	}
+}

@@ -1,0 +1,293 @@
+// Package cache implements the memory-hierarchy building blocks of the
+// simulated machine: set-associative write-back LRU caches whose size
+// can be changed at run time (the paper's configurable units), and
+// fully-associative TLBs.
+//
+// Resizing follows the paper's cost model: any resize writes back every
+// dirty line and invalidates the whole array; the caller charges the
+// write-backs in cycles and energy (Section 2.1: "to reduce a cache's
+// size, dirty cache lines must be written back to lower memory
+// hierarchy").
+package cache
+
+import "fmt"
+
+// Result describes the outcome of one cache access.
+type Result struct {
+	// Hit is true when the block was present.
+	Hit bool
+	// Writeback is true when the access evicted a dirty block that
+	// must be written to the next level.
+	Writeback bool
+	// WritebackAddr is the byte address of the evicted dirty block
+	// (valid only when Writeback is true).
+	WritebackAddr uint64
+}
+
+// Stats counts cache events since the last ResetStats.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions, incl. those forced by resizes
+	Resizes    uint64
+	// FlushWritebacks counts the subset of Writebacks caused by
+	// resizes — the reconfiguration overhead the power model and
+	// timing model charge separately.
+	FlushWritebacks uint64
+}
+
+// MissRate returns misses/accesses, or 0 with no accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag     uint64
+	lastUse uint64
+	valid   bool
+	dirty   bool
+}
+
+// Cache is a resizable set-associative write-back cache with true LRU
+// replacement. Associativity and block size are fixed at construction;
+// resizing changes the number of sets.
+type Cache struct {
+	name       string
+	blockBytes uint64
+	blockShift uint
+	ways       int
+
+	sizeBytes int
+	numSets   uint64
+	setMask   uint64
+	lines     []line // numSets × ways, set-major
+
+	useTick uint64
+	stats   Stats
+}
+
+// New constructs a cache. sizeBytes must be a power-of-two multiple of
+// ways*blockBytes, and blockBytes a power of two.
+func New(name string, sizeBytes, blockBytes, ways int) (*Cache, error) {
+	if blockBytes <= 0 || blockBytes&(blockBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: block size %d not a power of two", name, blockBytes)
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways %d must be positive", name, ways)
+	}
+	c := &Cache{
+		name:       name,
+		blockBytes: uint64(blockBytes),
+		ways:       ways,
+	}
+	for 1<<c.blockShift < blockBytes {
+		c.blockShift++
+	}
+	if err := c.configure(sizeBytes); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error, for fixed-parameter call sites.
+func MustNew(name string, sizeBytes, blockBytes, ways int) *Cache {
+	c, err := New(name, sizeBytes, blockBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) configure(sizeBytes int) error {
+	lineBytes := int(c.blockBytes) * c.ways
+	if sizeBytes <= 0 || sizeBytes%lineBytes != 0 {
+		return fmt.Errorf("cache %s: size %d not a multiple of ways×block (%d)", c.name, sizeBytes, lineBytes)
+	}
+	numSets := sizeBytes / lineBytes
+	if numSets&(numSets-1) != 0 {
+		return fmt.Errorf("cache %s: size %d yields non-power-of-two set count %d", c.name, sizeBytes, numSets)
+	}
+	c.sizeBytes = sizeBytes
+	c.numSets = uint64(numSets)
+	c.setMask = c.numSets - 1
+	c.lines = make([]line, numSets*c.ways)
+	return nil
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// SizeBytes returns the current capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sizeBytes }
+
+// BlockBytes returns the block size in bytes.
+func (c *Cache) BlockBytes() int { return int(c.blockBytes) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// NumSets returns the current number of sets.
+func (c *Cache) NumSets() int { return int(c.numSets) }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters (contents are untouched).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access simulates one access to the byte address addr. write marks
+// the block dirty on hit or after fill (write-allocate). The returned
+// Result reports hit/miss and any dirty eviction; the caller is
+// responsible for propagating misses and write-backs to the next
+// level.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.stats.Accesses++
+	c.useTick++
+	blockAddr := addr >> c.blockShift
+	set := blockAddr & c.setMask
+	tag := blockAddr >> 0 // full block address as tag; set bits are redundant but harmless
+	base := int(set) * c.ways
+
+	// Hit path: scan the (small) set.
+	for i := base; i < base+c.ways; i++ {
+		ln := &c.lines[i]
+		if ln.valid && ln.tag == tag {
+			c.stats.Hits++
+			ln.lastUse = c.useTick
+			if write {
+				ln.dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: pick LRU victim (prefer invalid ways).
+	c.stats.Misses++
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		if !c.lines[i].valid {
+			victim = i
+			break
+		}
+		if c.lines[i].lastUse < c.lines[victim].lastUse {
+			victim = i
+		}
+	}
+	var res Result
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		c.stats.Writebacks++
+		res.Writeback = true
+		res.WritebackAddr = v.tag << c.blockShift
+	}
+	*v = line{tag: tag, lastUse: c.useTick, valid: true, dirty: write}
+	return res
+}
+
+// Contains reports whether the block holding addr is present (no state
+// change; for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	blockAddr := addr >> c.blockShift
+	set := blockAddr & c.setMask
+	base := int(set) * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == blockAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyLines returns the number of valid dirty lines (for tests and
+// for estimating flush cost ahead of a resize).
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// ValidLines returns the number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Resize changes the capacity to newSizeBytes, migrating cache state
+// the way selective-sets reconfiguration hardware does: every resident
+// block is re-placed under the new set indexing, keeping the most
+// recently used blocks when more blocks fold into a set than its
+// associativity holds. Dirty blocks that no longer fit are written
+// back (returned as writebacks, also counted in Stats) — the paper's
+// reconfiguration overhead of "writing dirty cache lines to the lower
+// memory hierarchy". Clean blocks that no longer fit are dropped
+// silently. Resizing to the current size is a no-op returning 0.
+func (c *Cache) Resize(newSizeBytes int) (writebacks int, err error) {
+	if newSizeBytes == c.sizeBytes {
+		return 0, nil
+	}
+	old := c.lines
+	if err := c.configure(newSizeBytes); err != nil {
+		return 0, err
+	}
+	for _, ln := range old {
+		if ln.valid {
+			writebacks += c.place(ln)
+		}
+	}
+	c.stats.Resizes++
+	c.stats.Writebacks += uint64(writebacks)
+	c.stats.FlushWritebacks += uint64(writebacks)
+	return writebacks, nil
+}
+
+// place inserts a migrated line under the current indexing. When the
+// target set is full, the least recently used of {occupants, ln} is
+// dropped. It returns the number of dirty lines dropped (0 or 1).
+func (c *Cache) place(ln line) int {
+	set := ln.tag & c.setMask
+	base := int(set) * c.ways
+	victim := -1
+	for i := base; i < base+c.ways; i++ {
+		if !c.lines[i].valid {
+			c.lines[i] = ln
+			return 0
+		}
+		if victim < 0 || c.lines[i].lastUse < c.lines[victim].lastUse {
+			victim = i
+		}
+	}
+	dropped := ln
+	if c.lines[victim].lastUse < ln.lastUse {
+		dropped = c.lines[victim]
+		c.lines[victim] = ln
+	}
+	if dropped.dirty {
+		return 1
+	}
+	return 0
+}
+
+// Flush writes back all dirty lines and invalidates the cache without
+// changing its size. Returns the number of write-backs performed.
+func (c *Cache) Flush() int {
+	wb := c.DirtyLines()
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.stats.Writebacks += uint64(wb)
+	c.stats.FlushWritebacks += uint64(wb)
+	return wb
+}

@@ -1,0 +1,143 @@
+package cache
+
+// TLB is a fully-associative, true-LRU translation lookaside buffer.
+// It maps page numbers; the simulated machine has no page table, so a
+// TLB miss simply charges the miss penalty and installs the entry.
+//
+// The 128-entry fully-associative organisation of the paper's baseline
+// (Table 2) makes a linear scan per access too slow, so the TLB keeps a
+// map from page to slot plus an intrusive doubly-linked LRU list —
+// O(1) per access with identical replacement behaviour.
+type TLB struct {
+	name     string
+	pageBits uint
+	capacity int
+
+	slots []tlbEntry
+	index map[uint64]int
+	head  int // most recently used, -1 when empty
+	tail  int // least recently used, -1 when empty
+	used  int
+
+	stats TLBStats
+}
+
+type tlbEntry struct {
+	page       uint64
+	prev, next int
+}
+
+// TLBStats counts TLB events.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses, or 0 with no accesses.
+func (s TLBStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// NewTLB constructs a TLB with the given entry count and page size
+// (bytes, power of two).
+func NewTLB(name string, entries, pageBytes int) *TLB {
+	if entries <= 0 {
+		panic("cache: TLB entries must be positive")
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("cache: TLB page size must be a positive power of two")
+	}
+	t := &TLB{
+		name:     name,
+		capacity: entries,
+		slots:    make([]tlbEntry, entries),
+		index:    make(map[uint64]int, entries),
+		head:     -1,
+		tail:     -1,
+	}
+	for 1<<t.pageBits < pageBytes {
+		t.pageBits++
+	}
+	return t
+}
+
+// Name returns the TLB's name.
+func (t *TLB) Name() string { return t.name }
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return t.capacity }
+
+// Stats returns a copy of the event counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// ResetStats zeroes the event counters.
+func (t *TLB) ResetStats() { t.stats = TLBStats{} }
+
+// Access translates the byte address addr, returning true on hit. On a
+// miss the entry is installed, evicting the LRU entry if full.
+func (t *TLB) Access(addr uint64) bool {
+	t.stats.Accesses++
+	page := addr >> t.pageBits
+	if slot, ok := t.index[page]; ok {
+		t.touch(slot)
+		return true
+	}
+	t.stats.Misses++
+	var slot int
+	if t.used < t.capacity {
+		slot = t.used
+		t.used++
+	} else {
+		slot = t.tail
+		t.unlink(slot)
+		delete(t.index, t.slots[slot].page)
+	}
+	t.slots[slot].page = page
+	t.index[page] = slot
+	t.pushFront(slot)
+	return false
+}
+
+// Contains reports whether addr's page is resident (no state change).
+func (t *TLB) Contains(addr uint64) bool {
+	_, ok := t.index[addr>>t.pageBits]
+	return ok
+}
+
+func (t *TLB) touch(slot int) {
+	if t.head == slot {
+		return
+	}
+	t.unlink(slot)
+	t.pushFront(slot)
+}
+
+func (t *TLB) unlink(slot int) {
+	e := &t.slots[slot]
+	if e.prev >= 0 {
+		t.slots[e.prev].next = e.next
+	} else {
+		t.head = e.next
+	}
+	if e.next >= 0 {
+		t.slots[e.next].prev = e.prev
+	} else {
+		t.tail = e.prev
+	}
+}
+
+func (t *TLB) pushFront(slot int) {
+	e := &t.slots[slot]
+	e.prev = -1
+	e.next = t.head
+	if t.head >= 0 {
+		t.slots[t.head].prev = slot
+	}
+	t.head = slot
+	if t.tail < 0 {
+		t.tail = slot
+	}
+}

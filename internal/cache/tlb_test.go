@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBBasic(t *testing.T) {
+	tlb := NewTLB("d", 4, 4096)
+	if tlb.Access(0) {
+		t.Error("first access should miss")
+	}
+	if !tlb.Access(100) {
+		t.Error("same page should hit")
+	}
+	if tlb.Access(4096) {
+		t.Error("next page should miss")
+	}
+	st := tlb.Stats()
+	if st.Accesses != 3 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB("d", 2, 4096)
+	tlb.Access(0 * 4096)
+	tlb.Access(1 * 4096)
+	tlb.Access(0 * 4096) // touch page 0; page 1 becomes LRU
+	tlb.Access(2 * 4096) // evicts page 1
+	if !tlb.Contains(0) {
+		t.Error("page 0 (MRU) should survive")
+	}
+	if tlb.Contains(1 * 4096) {
+		t.Error("page 1 (LRU) should be evicted")
+	}
+	if !tlb.Contains(2 * 4096) {
+		t.Error("page 2 should be resident")
+	}
+}
+
+func TestTLBConstructorPanics(t *testing.T) {
+	for _, c := range []struct{ entries, page int }{{0, 4096}, {4, 0}, {4, 1000}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTLB(%d,%d) should panic", c.entries, c.page)
+				}
+			}()
+			NewTLB("d", c.entries, c.page)
+		}()
+	}
+}
+
+// refTLB is a brute-force fully-associative LRU oracle.
+type refTLB struct {
+	cap   int
+	pages []uint64 // MRU first
+}
+
+func (r *refTLB) access(page uint64) bool {
+	for i, p := range r.pages {
+		if p == page {
+			r.pages = append([]uint64{p}, append(append([]uint64{}, r.pages[:i]...), r.pages[i+1:]...)...)
+			return true
+		}
+	}
+	r.pages = append([]uint64{page}, r.pages...)
+	if len(r.pages) > r.cap {
+		r.pages = r.pages[:r.cap]
+	}
+	return false
+}
+
+func TestTLBMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tlb := NewTLB("d", 8, 4096)
+		ref := &refTLB{cap: 8}
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(40)) * 4096
+			if tlb.Access(addr) != ref.access(addr/4096) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBMissRate(t *testing.T) {
+	var s TLBStats
+	if s.MissRate() != 0 {
+		t.Error("empty TLB stats miss rate should be 0")
+	}
+	s = TLBStats{Accesses: 10, Misses: 5}
+	if s.MissRate() != 0.5 {
+		t.Errorf("MissRate = %v, want 0.5", s.MissRate())
+	}
+}
+
+func TestTLBResetStats(t *testing.T) {
+	tlb := NewTLB("d", 4, 4096)
+	tlb.Access(0)
+	tlb.ResetStats()
+	if tlb.Stats() != (TLBStats{}) {
+		t.Error("ResetStats should zero counters")
+	}
+	if !tlb.Contains(0) {
+		t.Error("ResetStats must not evict entries")
+	}
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"testing"
+
+	"acedo/internal/hotspot"
+	"acedo/internal/machine"
+	"acedo/internal/program"
+	"acedo/internal/vm"
+)
+
+func testVMParams() vm.Params {
+	p := vm.DefaultParams()
+	p.SampleInterval = 1000
+	p.HotThreshold = 3
+	p.MinSamples = 1
+	return p
+}
+
+type env struct {
+	prog *program.Program
+	mach *machine.Machine
+	aos  *vm.AOS
+	mgr  *Manager
+	eng  *vm.Engine
+}
+
+func newEnv(t *testing.T, prog *program.Program, params Params) *env {
+	t.Helper()
+	mach, err := machine.New(machine.PaperConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aos := vm.NewAOS(testVMParams(), mach, prog)
+	mgr, err := NewManager(params, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := vm.NewEngine(prog, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{prog: prog, mach: mach, aos: aos, mgr: mgr, eng: eng}
+}
+
+// emitWalkLeaf emits a method walking [base, base+words) `reps` times.
+func emitWalkLeaf(m *program.MethodBuilder, base, words, reps int64) {
+	entry := m.NewBlock()
+	entry.Const(4, base)
+	entry.Const(11, 0)
+	entry.Const(12, reps)
+	rep := m.NewBlock()
+	rep.Const(5, 0)
+	rep.Const(6, words)
+	loop := m.NewBlock()
+	loop.Add(7, 4, 5)
+	loop.Load(8, 7, 0)
+	loop.Add(9, 9, 8)
+	loop.AddI(5, 5, 1)
+	loop.CmpLt(10, 5, 6)
+	loop.Br(10, loop.Index())
+	tail := m.NewBlock()
+	tail.AddI(11, 11, 1)
+	tail.CmpLt(12, 11, 12)
+	tail.Br(12, rep.Index())
+	m.NewBlock().Ret(9)
+}
+
+// leafProgram builds main calling one walk leaf n times.
+func leafProgram(words, reps, n int64) *program.Program {
+	b := program.NewBuilder("leaf")
+	b.SetMemWords(int(words) + 64)
+	main := b.NewMethod("main")
+	leaf := b.NewMethod("leaf")
+	emitWalkLeaf(leaf, 0, words, reps)
+
+	entry := main.NewBlock()
+	entry.Const(16, 0)
+	entry.Const(17, n)
+	loop := main.NewBlock()
+	loop.Call(15, leaf.ID())
+	loop.AddI(16, 16, 1)
+	loop.CmpLt(18, 16, 17)
+	loop.Br(18, loop.Index())
+	main.NewBlock().Halt()
+	b.SetEntry(main.ID())
+	return b.MustBuild()
+}
+
+func TestLeafClassifiedL1DAndTunedSmall(t *testing.T) {
+	// 4 KB array walked twice per invocation ≈ 6.5 K instructions:
+	// an L1D-class hotspot whose working set fits the smallest
+	// cache; the tuner must shrink the L1D far below 64 KB.
+	e := newEnv(t, leafProgram(512, 2, 400), DefaultParams(10))
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	hs := e.mgr.Hotspots()
+	if len(hs) != 1 {
+		t.Fatalf("hotspots = %d, want 1 (main is invoked once)", len(hs))
+	}
+	h := hs[0]
+	if h.Class != hotspot.ClassL1D {
+		t.Fatalf("class = %v, want L1D", h.Class)
+	}
+	if len(h.Units()) != 1 || h.Units()[0] != e.mach.L1DUnit {
+		t.Error("decoupled L1D hotspot must manage exactly the L1D unit")
+	}
+	if h.State() != "configured" || !h.TunedOK {
+		t.Fatalf("hotspot not tuned: state=%s tuned=%v", h.State(), h.TunedOK)
+	}
+	best := e.mach.L1DUnit.Setting(h.BestConfig()[0])
+	if best > 16*1024 {
+		t.Errorf("best L1D = %d, want ≤16K for a 4KB working set", best)
+	}
+}
+
+func TestPerfGateKeepsLargeCacheForLargeWorkingSet(t *testing.T) {
+	// 48 KB array: only the 64 KB configuration holds it, so the
+	// 2% IPC gate must reject every smaller size.
+	e := newEnv(t, leafProgram(6144, 1, 400), DefaultParams(10))
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	hs := e.mgr.Hotspots()
+	if len(hs) != 1 {
+		t.Fatalf("hotspots = %d", len(hs))
+	}
+	h := hs[0]
+	if h.State() != "configured" {
+		t.Fatalf("state = %s", h.State())
+	}
+	best := e.mach.L1DUnit.Setting(h.BestConfig()[0])
+	if best != 64*1024 {
+		t.Errorf("best L1D = %d, want 64K", best)
+	}
+}
+
+// phaseProgram wraps the leaf in a phase method so the phase's
+// inclusive size crosses the L2 class bound.
+func phaseProgram(n int64) *program.Program {
+	b := program.NewBuilder("phase")
+	b.SetMemWords(4096)
+	main := b.NewMethod("main")
+	phase := b.NewMethod("phase")
+	leaf := b.NewMethod("leaf")
+	emitWalkLeaf(leaf, 0, 512, 2) // ≈6.5K instructions
+
+	pe := phase.NewBlock()
+	pe.Const(16, 0)
+	pe.Const(17, 10) // 10 leaf calls ≈ 65K instructions: L2 class
+	pl := phase.NewBlock()
+	pl.Call(15, leaf.ID())
+	pl.AddI(16, 16, 1)
+	pl.CmpLt(18, 16, 17)
+	pl.Br(18, pl.Index())
+	phase.NewBlock().Ret(15)
+
+	me := main.NewBlock()
+	me.Const(16, 0)
+	me.Const(17, n)
+	ml := main.NewBlock()
+	ml.Call(15, phase.ID())
+	ml.AddI(16, 16, 1)
+	ml.CmpLt(18, 16, 17)
+	ml.Br(18, ml.Index())
+	main.NewBlock().Halt()
+	b.SetEntry(main.ID())
+	return b.MustBuild()
+}
+
+func TestNestedPhaseClassifiedL2(t *testing.T) {
+	e := newEnv(t, phaseProgram(100), DefaultParams(10))
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var leafH, phaseH *Hotspot
+	for _, h := range e.mgr.Hotspots() {
+		switch h.Prof.Name {
+		case "leaf":
+			leafH = h
+		case "phase":
+			phaseH = h
+		}
+	}
+	if leafH == nil || phaseH == nil {
+		t.Fatalf("missing hotspots: %+v", e.mgr.Hotspots())
+	}
+	if leafH.Class != hotspot.ClassL1D {
+		t.Errorf("leaf class = %v", leafH.Class)
+	}
+	if phaseH.Class != hotspot.ClassL2 {
+		t.Errorf("phase class = %v (inclusive size must count callees)", phaseH.Class)
+	}
+	if len(phaseH.Units()) != 1 || phaseH.Units()[0] != e.mach.L2Unit {
+		t.Error("L2 hotspot must manage exactly the L2 unit")
+	}
+	rep := e.mgr.Report()
+	if rep.L1D.Hotspots != 1 || rep.L2.Hotspots != 1 {
+		t.Errorf("report classes = %+v", rep)
+	}
+	if rep.L1D.Coverage <= 0 || rep.L2.Coverage <= 0 {
+		t.Error("coverage should be positive once configured")
+	}
+	if rep.L2.Coverage > 1 || rep.L1D.Coverage > 1 {
+		t.Error("coverage must be a fraction")
+	}
+}
+
+func TestTinyHotspotUnmanaged(t *testing.T) {
+	// 64-word walk ≈ 400 instructions: below the L1D class.
+	e := newEnv(t, leafProgram(64, 1, 300), DefaultParams(10))
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.mgr.Hotspots()) != 0 {
+		t.Errorf("tiny method should not be managed")
+	}
+	if e.mgr.Unmanaged() != 1 {
+		t.Errorf("Unmanaged = %d, want 1", e.mgr.Unmanaged())
+	}
+}
+
+// nestedL1DProgram creates an outer L1D-class method containing a
+// managed L1D leaf — the passive-fallback scenario.
+func nestedL1DProgram(n int64) *program.Program {
+	b := program.NewBuilder("nested")
+	b.SetMemWords(4096)
+	main := b.NewMethod("main")
+	outer := b.NewMethod("outer")
+	inner := b.NewMethod("inner")
+	emitWalkLeaf(inner, 0, 512, 2) // ≈6.5K: L1D class
+
+	oe := outer.NewBlock()
+	oe.Const(16, 0)
+	oe.Const(17, 3) // 3 inner calls ≈ 20K: still L1D class
+	ol := outer.NewBlock()
+	ol.Call(15, inner.ID())
+	ol.AddI(16, 16, 1)
+	ol.CmpLt(18, 16, 17)
+	ol.Br(18, ol.Index())
+	outer.NewBlock().Ret(15)
+
+	me := main.NewBlock()
+	me.Const(16, 0)
+	me.Const(17, n)
+	ml := main.NewBlock()
+	ml.Call(15, outer.ID())
+	ml.AddI(16, 16, 1)
+	ml.CmpLt(18, 16, 17)
+	ml.Br(18, ml.Index())
+	main.NewBlock().Halt()
+	b.SetEntry(main.ID())
+	return b.MustBuild()
+}
+
+func TestNestedSameClassDoesNotDeadlock(t *testing.T) {
+	e := newEnv(t, nestedL1DProgram(500), DefaultParams(10))
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	var outerH *Hotspot
+	for _, h := range e.mgr.Hotspots() {
+		if h.Prof.Name == "outer" {
+			outerH = h
+		}
+	}
+	if outerH == nil {
+		t.Fatal("outer not managed")
+	}
+	if outerH.State() != "configured" {
+		t.Errorf("outer must leave the tuning state eventually (got %s)", outerH.State())
+	}
+}
+
+func TestStaticHintSkipsTuning(t *testing.T) {
+	p := DefaultParams(10)
+	var hinted []hotspot.Class
+	p.StaticHint = func(_ program.MethodID, class hotspot.Class, meanSize float64) ([]int, bool) {
+		hinted = append(hinted, class)
+		return []int{0}, true // smallest setting
+	}
+	e := newEnv(t, leafProgram(512, 2, 200), p)
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	h := e.mgr.Hotspots()[0]
+	if len(hinted) != 1 {
+		t.Fatalf("hint consulted %d times", len(hinted))
+	}
+	if h.State() != "configured" || !h.TunedOK {
+		t.Error("hinted hotspot should be configured immediately")
+	}
+	rep := e.mgr.Report()
+	if rep.L1D.Tunings != 0 {
+		t.Errorf("tunings = %d, want 0 (descent skipped)", rep.L1D.Tunings)
+	}
+	if h.BestConfig()[0] != 0 {
+		t.Errorf("best = %v, want the hinted [0]", h.BestConfig())
+	}
+}
+
+func TestStaticHintRejectedFallsBackToTuning(t *testing.T) {
+	p := DefaultParams(10)
+	p.StaticHint = func(program.MethodID, hotspot.Class, float64) ([]int, bool) {
+		return []int{99}, true // not a valid config: must be ignored
+	}
+	e := newEnv(t, leafProgram(512, 2, 400), p)
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	h := e.mgr.Hotspots()[0]
+	if !h.TunedOK {
+		t.Error("invalid hint should fall back to the tuning descent")
+	}
+	if e.mgr.Report().L1D.Tunings == 0 {
+		t.Error("descent should have run")
+	}
+}
+
+func TestMonolithicModeUsesAllCombinations(t *testing.T) {
+	p := DefaultParams(10)
+	p.Mode = ModeMonolithic
+	e := newEnv(t, leafProgram(512, 2, 600), p)
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	h := e.mgr.Hotspots()[0]
+	if len(h.Units()) != 2 {
+		t.Errorf("monolithic hotspot should manage both units")
+	}
+	if got := len(h.configs); got != 16 {
+		t.Errorf("configs = %d, want 16", got)
+	}
+}
+
+func TestRetuneOnBehaviourChange(t *testing.T) {
+	// The leaf's walk bound lives in memory; main enlarges it
+	// mid-run, changing the leaf's working set from 2 KB to 32 KB.
+	b := program.NewBuilder("drift")
+	const cell = 0
+	b.SetMemWords(8192 + 64)
+	main := b.NewMethod("main")
+	leaf := b.NewMethod("leaf")
+
+	le := leaf.NewBlock()
+	le.Const(4, 64) // data base
+	le.Const(13, cell)
+	le.Load(6, 13, 0) // bound from memory
+	le.Const(5, 0)
+	le.Const(11, 0)
+	le.Const(12, 4) // 4 reps keep the size in class at both bounds
+	rep := leaf.NewBlock()
+	rep.Const(5, 0)
+	loop := leaf.NewBlock()
+	loop.Add(7, 4, 5)
+	loop.Load(8, 7, 0)
+	loop.Add(9, 9, 8)
+	loop.AddI(5, 5, 1)
+	loop.CmpLt(10, 5, 6)
+	loop.Br(10, loop.Index())
+	tl := leaf.NewBlock()
+	tl.AddI(11, 11, 1)
+	tl.CmpLt(10, 11, 12)
+	tl.Br(10, rep.Index())
+	leaf.NewBlock().Ret(9)
+
+	me := main.NewBlock()
+	me.Const(13, cell)
+	me.Const(14, 256) // small bound: 2 KB
+	me.Store(14, 13, 0)
+	me.Const(16, 0)
+	me.Const(17, 500)
+	l1 := main.NewBlock()
+	l1.Call(15, leaf.ID())
+	l1.AddI(16, 16, 1)
+	l1.CmpLt(18, 16, 17)
+	l1.Br(18, l1.Index())
+	mid := main.NewBlock()
+	mid.Const(14, 4096) // large bound: 32 KB
+	mid.Store(14, 13, 0)
+	mid.Const(16, 0)
+	l2 := main.NewBlock()
+	l2.Call(15, leaf.ID())
+	l2.AddI(16, 16, 1)
+	l2.CmpLt(18, 16, 17)
+	l2.Br(18, l2.Index())
+	main.NewBlock().Halt()
+	b.SetEntry(main.ID())
+
+	p := DefaultParams(10)
+	p.RetuneThreshold = 0.05
+	p.SamplePeriod = 8
+	e := newEnv(t, b.MustBuild(), p)
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	h := e.mgr.Hotspots()[0]
+	if h.Retunes == 0 {
+		t.Error("behaviour change should trigger a re-tune")
+	}
+	if e.mgr.Report().Retunes == 0 {
+		t.Error("report should surface retunes")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams(10)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func(*Params){
+		func(p *Params) { p.PerfThreshold = -0.1 },
+		func(p *Params) { p.PerfThreshold = 1 },
+		func(p *Params) { p.RetuneThreshold = 0 },
+		func(p *Params) { p.SamplePeriod = 0 },
+		func(p *Params) { p.MeasureSamples = 0 },
+		func(p *Params) { p.Bounds.L1DMin = 0 },
+	} {
+		p := DefaultParams(10)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutated params %+v should be invalid", p)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDecoupled.String() != "decoupled" || ModeMonolithic.String() != "monolithic" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestReportOnBudgetLimitedRun(t *testing.T) {
+	// A run cut off mid-invocation must still produce a report
+	// (open coverage spans are closed at the current instruction).
+	e := newEnv(t, leafProgram(512, 2, 4000), DefaultParams(10))
+	err := e.eng.Run(5_000_000)
+	if err == nil {
+		t.Skip("program finished within the budget")
+	}
+	rep := e.mgr.Report() // must not panic
+	if rep.L1D.Coverage < 0 || rep.L1D.Coverage > 1 {
+		t.Errorf("coverage out of range: %v", rep.L1D.Coverage)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"acedo/internal/hotspot"
+	"acedo/internal/machine"
+	"acedo/internal/program"
+	"acedo/internal/vm"
+)
+
+// newIQEnv builds the three-CU environment: machine with the issue
+// queue, bounds with the micro class.
+func newIQEnv(t *testing.T, prog *program.Program) *env {
+	t.Helper()
+	mach, err := machine.New(machine.PaperConfig(10).WithIQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(10)
+	params.Bounds = params.Bounds.WithMicro(10)
+	aos := vm.NewAOS(testVMParams(), mach, prog)
+	mgr, err := NewManager(params, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := vm.NewEngine(prog, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{prog: prog, mach: mach, aos: aos, mgr: mgr, eng: eng}
+}
+
+// computeLeafProgram builds main calling a pure-ALU leaf of roughly
+// `iters`×6 instructions n times — a micro-class hotspot that needs no
+// memory-level parallelism and should shrink the window.
+func computeLeafProgram(iters, n int64) *program.Program {
+	b := program.NewBuilder("micro")
+	b.SetMemWords(64)
+	main := b.NewMethod("main")
+	leaf := b.NewMethod("alu")
+
+	le := leaf.NewBlock()
+	le.Const(4, 3)
+	le.Const(5, 0)
+	le.Const(6, iters)
+	ll := leaf.NewBlock()
+	ll.Mul(4, 4, 4)
+	ll.XorI(4, 4, 0x55)
+	ll.AddI(5, 5, 1)
+	ll.CmpLt(7, 5, 6)
+	ll.Br(7, ll.Index())
+	leaf.NewBlock().Ret(4)
+
+	me := main.NewBlock()
+	me.Const(16, 0)
+	me.Const(17, n)
+	ml := main.NewBlock()
+	ml.Call(15, leaf.ID())
+	ml.AddI(16, 16, 1)
+	ml.CmpLt(18, 16, 17)
+	ml.Br(18, ml.Index())
+	main.NewBlock().Halt()
+	b.SetEntry(main.ID())
+	return b.MustBuild()
+}
+
+func TestMicroClassManagesIssueQueue(t *testing.T) {
+	// ~200×5 = 1K instructions per invocation: micro class.
+	e := newIQEnv(t, computeLeafProgram(200, 600))
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	hs := e.mgr.Hotspots()
+	if len(hs) != 1 {
+		t.Fatalf("hotspots = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if h.Class != hotspot.ClassMicro {
+		t.Fatalf("class = %v, want micro", h.Class)
+	}
+	if len(h.Units()) != 1 || h.Units()[0] != e.mach.IQUnit {
+		t.Error("micro hotspot must manage exactly the IQ unit")
+	}
+	if h.State() != "configured" || !h.TunedOK {
+		t.Fatalf("state = %s tuned = %v", h.State(), h.TunedOK)
+	}
+	// Pure ALU code does not need the window: the tuner must shrink
+	// it to the smallest setting.
+	if got := e.mach.IQUnit.Setting(h.BestConfig()[0]); got != 16 {
+		t.Errorf("chosen window = %d entries, want 16 for ALU-only code", got)
+	}
+	rep := e.mgr.Report()
+	if rep.Micro.Hotspots != 1 || rep.Micro.Tuned != 1 {
+		t.Errorf("micro report = %+v", rep.Micro)
+	}
+	if rep.Micro.Coverage <= 0 {
+		t.Error("micro coverage should be positive")
+	}
+}
+
+func TestMicroClassWithoutIQUnitUnmanaged(t *testing.T) {
+	// Micro bounds enabled but the machine has no IQ unit: the
+	// hotspot must be left unmanaged, not crash.
+	mach, err := machine.New(machine.PaperConfig(10)) // no IQ
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(10)
+	params.Bounds = params.Bounds.WithMicro(10)
+	prog := computeLeafProgram(200, 300)
+	aos := vm.NewAOS(testVMParams(), mach, prog)
+	mgr, err := NewManager(params, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := vm.NewEngine(prog, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.Hotspots()) != 0 || mgr.Unmanaged() != 1 {
+		t.Errorf("hotspots=%d unmanaged=%d, want 0/1", len(mgr.Hotspots()), mgr.Unmanaged())
+	}
+}
+
+func TestMonolithicWithThreeCUsUses64Combos(t *testing.T) {
+	prog := leafProgram(512, 2, 50)
+	mach, err := machine.New(machine.PaperConfig(10).WithIQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(10)
+	params.Mode = ModeMonolithic
+	aos := vm.NewAOS(testVMParams(), mach, prog)
+	mgr, err := NewManager(params, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := vm.NewEngine(prog, mach, aos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(mgr.Hotspots()) != 1 {
+		t.Fatalf("hotspots = %d", len(mgr.Hotspots()))
+	}
+	if got := len(mgr.Hotspots()[0].configs); got != 64 {
+		t.Errorf("monolithic 3-CU configs = %d, want 64", got)
+	}
+}
+
+func TestBoundsWithMicro(t *testing.T) {
+	b := hotspot.PaperBounds(10).WithMicro(10)
+	if b.MicroMin != 500 {
+		t.Errorf("MicroMin = %v, want 500", b.MicroMin)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Classify(1000); got != hotspot.ClassMicro {
+		t.Errorf("Classify(1000) = %v, want micro", got)
+	}
+	if got := b.Classify(400); got != hotspot.ClassNone {
+		t.Errorf("Classify(400) = %v, want none", got)
+	}
+	bad := b
+	bad.MicroMin = b.L1DMin + 1
+	if bad.Validate() == nil {
+		t.Error("MicroMin above L1DMin must be invalid")
+	}
+}

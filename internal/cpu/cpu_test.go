@@ -1,0 +1,158 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPredictorLearnsAlwaysTaken(t *testing.T) {
+	p := NewPredictor()
+	var wrong int
+	for i := 0; i < 1000; i++ {
+		if !p.Predict(0x40, true) {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("always-taken branch mispredicted %d times", wrong)
+	}
+}
+
+func TestPredictorLearnsAlternating(t *testing.T) {
+	// A strict alternation is learnable via gshare history.
+	p := NewPredictor()
+	var wrong int
+	for i := 0; i < 2000; i++ {
+		if !p.Predict(0x80, i%2 == 0) {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / 2000; rate > 0.1 {
+		t.Errorf("alternating pattern mispredict rate %.2f, want <0.1 (gshare should learn it)", rate)
+	}
+}
+
+func TestPredictorRandomIsHard(t *testing.T) {
+	p := NewPredictor()
+	rng := rand.New(rand.NewSource(7))
+	var wrong int
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if !p.Predict(0x100, rng.Intn(2) == 0) {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate < 0.3 || rate > 0.7 {
+		t.Errorf("random outcomes mispredict rate %.2f, want ≈0.5", rate)
+	}
+}
+
+func TestPredictorStats(t *testing.T) {
+	p := NewPredictor()
+	for i := 0; i < 10; i++ {
+		p.Predict(4, true)
+	}
+	st := p.Stats()
+	if st.Branches != 10 {
+		t.Errorf("Branches = %d, want 10", st.Branches)
+	}
+	if st.MispredictRate() < 0 || st.MispredictRate() > 1 {
+		t.Errorf("rate out of range: %v", st.MispredictRate())
+	}
+	p.ResetStats()
+	if p.Stats() != (PredictorStats{}) {
+		t.Error("ResetStats should zero counters")
+	}
+}
+
+func TestPredictorStatsEmptyRate(t *testing.T) {
+	var s PredictorStats
+	if s.MispredictRate() != 0 {
+		t.Error("empty rate should be 0")
+	}
+}
+
+func TestTimingIssueOnly(t *testing.T) {
+	tm := NewTiming(DefaultTimingConfig())
+	tm.Issue(400)
+	if got := tm.Cycles(); got != 100 {
+		t.Errorf("400 instrs at width 4 = %d cycles, want 100", got)
+	}
+}
+
+func TestTimingIssueRoundsUp(t *testing.T) {
+	tm := NewTiming(DefaultTimingConfig())
+	tm.Issue(5)
+	if got := tm.Cycles(); got != 2 {
+		t.Errorf("5 instrs = %d cycles, want 2", got)
+	}
+}
+
+func TestTimingComponents(t *testing.T) {
+	cfg := DefaultTimingConfig()
+	tm := NewTiming(cfg)
+	tm.Issue(4)
+	tm.Mispredict()
+	tm.L1Miss()
+	tm.L2Miss()
+	tm.TLBMiss()
+	tm.Reconfigure(10)
+
+	b := tm.Breakdown()
+	if b.IssueCycles != 1 {
+		t.Errorf("issue = %d", b.IssueCycles)
+	}
+	if b.BranchCycles != cfg.MispredictPenalty {
+		t.Errorf("branch = %d", b.BranchCycles)
+	}
+	wantStall := uint64(float64(cfg.L2HitLatency)*cfg.L2Exposure) +
+		uint64(float64(cfg.MemLatency)*cfg.MemExposure) +
+		cfg.TLBMissCycles
+	if b.StallCycles != wantStall {
+		t.Errorf("stall = %d, want %d", b.StallCycles, wantStall)
+	}
+	wantReconf := cfg.ResizeFixedCycles + 10*cfg.WritebackCycles
+	if b.ReconfCycles != wantReconf {
+		t.Errorf("reconf = %d, want %d", b.ReconfCycles, wantReconf)
+	}
+	if b.L1Misses != 1 || b.L2Misses != 1 || b.TLBMisses != 1 || b.Mispredicts != 1 ||
+		b.Reconfigs != 1 || b.FlushWritebacks != 10 {
+		t.Errorf("event counts wrong: %+v", b)
+	}
+	sum := b.IssueCycles + b.StallCycles + b.BranchCycles + b.ReconfCycles
+	if tm.Cycles() != sum {
+		t.Errorf("Cycles() = %d, component sum = %d", tm.Cycles(), sum)
+	}
+}
+
+func TestTimingZeroConfigDefaults(t *testing.T) {
+	tm := NewTiming(TimingConfig{})
+	if tm.Config().IssueWidth != 4 {
+		t.Errorf("default issue width = %d, want 4", tm.Config().IssueWidth)
+	}
+	if tm.Config().L2Exposure <= 0 || tm.Config().MemExposure <= 0 {
+		t.Error("default exposures should be positive")
+	}
+}
+
+func TestTimingCyclesMonotone(t *testing.T) {
+	tm := NewTiming(DefaultTimingConfig())
+	prev := tm.Cycles()
+	events := []func(){
+		func() { tm.Issue(7) },
+		func() { tm.Mispredict() },
+		func() { tm.L1Miss() },
+		func() { tm.L2Miss() },
+		func() { tm.TLBMiss() },
+		func() { tm.Reconfigure(3) },
+	}
+	for i, ev := range events {
+		ev()
+		if now := tm.Cycles(); now < prev {
+			t.Errorf("event %d decreased cycles %d -> %d", i, prev, now)
+		} else {
+			prev = now
+		}
+	}
+}

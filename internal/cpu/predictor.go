@@ -1,0 +1,109 @@
+// Package cpu models the processor core of the simulated machine: a
+// combined branch predictor matching the paper's baseline (Table 2:
+// "2K-entry combined predictor, 3-cycle misprediction penalty") and an
+// analytic timing model for a 4-wide out-of-order core.
+package cpu
+
+// PredictorEntries is the table size of each component of the combined
+// predictor (the paper's "2K-entry combined predictor").
+const PredictorEntries = 2048
+
+// Predictor is a McFarling-style combined predictor: a bimodal
+// component, a gshare component with a global history register, and a
+// chooser table that learns which component to trust per branch.
+// All tables hold 2-bit saturating counters.
+type Predictor struct {
+	bimodal [PredictorEntries]uint8
+	gshare  [PredictorEntries]uint8
+	chooser [PredictorEntries]uint8 // ≥2 favours gshare
+	history uint64
+
+	stats PredictorStats
+}
+
+// PredictorStats counts prediction outcomes.
+type PredictorStats struct {
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// MispredictRate returns mispredicts/branches, or 0 with no branches.
+func (s PredictorStats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// NewPredictor constructs a predictor with weakly-taken initial state
+// and a chooser with no initial bias.
+func NewPredictor() *Predictor {
+	p := &Predictor{}
+	for i := range p.bimodal {
+		p.bimodal[i] = 2 // weakly taken
+		p.gshare[i] = 2
+		p.chooser[i] = 1 // weakly bimodal
+	}
+	return p
+}
+
+// Stats returns a copy of the outcome counters.
+func (p *Predictor) Stats() PredictorStats { return p.stats }
+
+// ResetStats zeroes the outcome counters (tables keep their state).
+func (p *Predictor) ResetStats() { p.stats = PredictorStats{} }
+
+func taken(counter uint8) bool { return counter >= 2 }
+
+func bump(counter uint8, t bool) uint8 {
+	if t {
+		if counter < 3 {
+			return counter + 1
+		}
+		return counter
+	}
+	if counter > 0 {
+		return counter - 1
+	}
+	return counter
+}
+
+// Predict records the outcome of the conditional branch at pc and
+// reports whether the combined predictor predicted it correctly. The
+// tables, chooser and global history are updated.
+func (p *Predictor) Predict(pc uint64, outcome bool) bool {
+	p.stats.Branches++
+	bi := pc & (PredictorEntries - 1)
+	gi := (pc ^ p.history) & (PredictorEntries - 1)
+
+	bPred := taken(p.bimodal[bi])
+	gPred := taken(p.gshare[gi])
+	var pred bool
+	if p.chooser[bi] >= 2 {
+		pred = gPred
+	} else {
+		pred = bPred
+	}
+
+	// Chooser trains toward the component that was right when they
+	// disagree.
+	if bPred != gPred {
+		p.chooser[bi] = bump(p.chooser[bi], gPred == outcome)
+	}
+	p.bimodal[bi] = bump(p.bimodal[bi], outcome)
+	p.gshare[gi] = bump(p.gshare[gi], outcome)
+	p.history = p.history<<1 | boolBit(outcome)
+
+	correct := pred == outcome
+	if !correct {
+		p.stats.Mispredicts++
+	}
+	return correct
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

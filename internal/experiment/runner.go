@@ -1,0 +1,408 @@
+// Package experiment runs the paper's evaluation: each benchmark is
+// executed under the static full-size baseline, the BBV comparator,
+// and the hotspot framework (plus, as extensions, the working-set-
+// signature comparator and the three-CU configuration), and the
+// per-run metrics are reduced into the rows of every table and the
+// series of every figure (DESIGN.md §5).
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"acedo/internal/bbv"
+	"acedo/internal/core"
+	"acedo/internal/cpu"
+	"acedo/internal/machine"
+	"acedo/internal/vm"
+	"acedo/internal/workload"
+	"acedo/internal/wss"
+)
+
+// Scheme selects the resource-adaptation policy of a run.
+type Scheme int
+
+const (
+	// SchemeBaseline keeps both caches at their largest size.
+	SchemeBaseline Scheme = iota
+	// SchemeBBV runs the BBV phase detector + exhaustive tuner.
+	SchemeBBV
+	// SchemeHotspot runs the paper's DO-based framework.
+	SchemeHotspot
+	// SchemeWSS runs the working-set-signature detector (Dhodapkar
+	// & Smith) with the same exhaustive tuner as SchemeBBV — the
+	// extension comparator of internal/wss.
+	SchemeWSS
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBaseline:
+		return "baseline"
+	case SchemeBBV:
+		return "bbv"
+	case SchemeHotspot:
+		return "hotspot"
+	case SchemeWSS:
+		return "wss"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Options carries the full parameterisation of a run.
+type Options struct {
+	// ScaleDiv divides every instruction-count parameter (1 = paper
+	// scale, 10 = default; DESIGN.md §4).
+	ScaleDiv uint64
+	// MaxInstr bounds a run (0 = run the program to completion).
+	MaxInstr uint64
+
+	Machine machine.Config
+	VM      vm.Params
+	Core    core.Params
+	BBV     bbv.Params
+	WSS     wss.Params
+}
+
+// DefaultOptions returns the standard experiment configuration at the
+// default 1/10 scale.
+func DefaultOptions() Options {
+	return OptionsAtScale(10)
+}
+
+// OptionsAtScale builds the experiment configuration for an arbitrary
+// scale divisor (1 = paper scale).
+func OptionsAtScale(scale uint64) Options {
+	if scale == 0 {
+		scale = 1
+	}
+	vp := vm.DefaultParams()
+	vp.SampleInterval = 100_000 / scale
+	if vp.SampleInterval == 0 {
+		vp.SampleInterval = 1
+	}
+	vp.HotThreshold = 5
+	vp.MinSamples = 1
+	return Options{
+		ScaleDiv: scale,
+		Machine:  machine.PaperConfig(scale),
+		VM:       vp,
+		Core:     core.DefaultParams(scale),
+		BBV:      bbv.DefaultParams(scale),
+		WSS:      wss.DefaultParams(),
+	}
+}
+
+// WithThreeCU returns the options with the extension third
+// configurable unit enabled: the 16/32/48/64-entry issue queue plus
+// the micro hotspot size class that manages it. The BBV comparator's
+// combinatorial configuration list grows from 16 to 64 — the paper's
+// scalability argument (Section 2.3) made concrete.
+func (o Options) WithThreeCU() Options {
+	o.Machine = o.Machine.WithIQ()
+	o.Core.Bounds = o.Core.Bounds.WithMicro(o.ScaleDiv)
+	return o
+}
+
+// AOSStats summarizes the DO database after a run (Table 4).
+type AOSStats struct {
+	Promotions     uint64
+	HotspotInstr   uint64
+	OverheadInstr  uint64
+	MeanSize       float64
+	MeanInvocation float64
+	// IdentLatencyInstr sums the pre-promotion inclusive
+	// instructions across hotspots (Table 4's identification
+	// latency numerator).
+	IdentLatencyInstr uint64
+}
+
+// Result is everything one run produces.
+type Result struct {
+	Benchmark string
+	Scheme    Scheme
+
+	Instr  uint64
+	Cycles uint64
+	IPC    float64
+
+	L1DEnergyNJ float64
+	L2EnergyNJ  float64
+	// IQEnergyNJ is zero unless the issue-queue unit is enabled.
+	IQEnergyNJ float64
+
+	Breakdown cpu.Breakdown
+
+	AOS AOSStats
+
+	// Hotspot is set for SchemeHotspot runs.
+	Hotspot *core.Report
+	// BBV is set for SchemeBBV runs.
+	BBV *bbv.Report
+}
+
+// Run executes one benchmark under one scheme.
+func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
+	prog, err := spec.Build()
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	}
+	mach, err := machine.New(opt.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	}
+	aos := vm.NewAOS(opt.VM, mach, prog)
+
+	var hotMgr *core.Manager
+	var bbvMgr *bbv.Manager
+	switch scheme {
+	case SchemeHotspot:
+		if hotMgr, err = core.NewManager(opt.Core, mach, aos); err != nil {
+			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+		}
+	case SchemeBBV:
+		if bbvMgr, err = bbv.NewManager(opt.BBV, mach); err != nil {
+			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+		}
+	case SchemeWSS:
+		if bbvMgr, err = wss.NewManager(opt.BBV, opt.WSS, mach); err != nil {
+			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+		}
+	}
+
+	eng, err := vm.NewEngine(prog, mach, aos)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	}
+	if bbvMgr != nil {
+		eng.SetBlockListener(bbvMgr.OnBlock)
+	}
+
+	if err := eng.Run(opt.MaxInstr); err != nil && err != vm.ErrBudget {
+		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	}
+
+	snap := mach.Snapshot()
+	res := &Result{
+		Benchmark:   spec.Name,
+		Scheme:      scheme,
+		Instr:       snap.Instr,
+		Cycles:      snap.Cycles,
+		IPC:         snap.IPC(),
+		L1DEnergyNJ: snap.L1DnJ,
+		L2EnergyNJ:  snap.L2nJ,
+		IQEnergyNJ:  snap.IQnJ,
+		Breakdown:   mach.Timing.Breakdown(),
+		AOS:         reduceAOS(aos),
+	}
+	if hotMgr != nil {
+		rep := hotMgr.Report()
+		res.Hotspot = &rep
+	}
+	if bbvMgr != nil {
+		rep := bbvMgr.Report()
+		res.BBV = &rep
+	}
+	return res, nil
+}
+
+func reduceAOS(aos *vm.AOS) AOSStats {
+	st := AOSStats{
+		Promotions:    aos.Promotions(),
+		HotspotInstr:  aos.HotspotInstr(),
+		OverheadInstr: aos.OverheadInstr(),
+	}
+	var sizeSum, invSum float64
+	var n int
+	for i := range aos.Profiles() {
+		p := &aos.Profiles()[i]
+		if !p.Promoted {
+			continue
+		}
+		n++
+		sizeSum += p.MeanSize()
+		invSum += float64(p.Invocations)
+		st.IdentLatencyInstr += p.InstrBeforePromotion
+	}
+	if n > 0 {
+		st.MeanSize = sizeSum / float64(n)
+		st.MeanInvocation = invSum / float64(n)
+	}
+	return st
+}
+
+// Comparison is one benchmark's three runs plus the derived
+// energy-saving and slowdown figures (Figures 3 and 4).
+type Comparison struct {
+	Name string
+
+	Base, BBVRun, HotRun *Result
+
+	L1DSavingBBV float64
+	L1DSavingHot float64
+	L2SavingBBV  float64
+	L2SavingHot  float64
+	// IQ savings are zero unless the issue-queue unit is enabled.
+	IQSavingBBV float64
+	IQSavingHot float64
+
+	SlowdownBBV float64
+	SlowdownHot float64
+}
+
+// Compare runs a benchmark under all three schemes and derives the
+// figure metrics.
+func Compare(spec workload.Spec, opt Options) (*Comparison, error) {
+	base, err := Run(spec, SchemeBaseline, opt)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := Run(spec, SchemeBBV, opt)
+	if err != nil {
+		return nil, err
+	}
+	hot, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		return nil, err
+	}
+	c := &Comparison{Name: spec.Name, Base: base, BBVRun: bb, HotRun: hot}
+	c.L1DSavingBBV = saving(base.L1DEnergyNJ, bb.L1DEnergyNJ)
+	c.L1DSavingHot = saving(base.L1DEnergyNJ, hot.L1DEnergyNJ)
+	c.L2SavingBBV = saving(base.L2EnergyNJ, bb.L2EnergyNJ)
+	c.L2SavingHot = saving(base.L2EnergyNJ, hot.L2EnergyNJ)
+	c.IQSavingBBV = saving(base.IQEnergyNJ, bb.IQEnergyNJ)
+	c.IQSavingHot = saving(base.IQEnergyNJ, hot.IQEnergyNJ)
+	c.SlowdownBBV = slowdown(base, bb)
+	c.SlowdownHot = slowdown(base, hot)
+	return c, nil
+}
+
+// saving returns the fractional energy reduction versus the baseline.
+func saving(base, scheme float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - scheme) / base
+}
+
+// slowdown returns the fractional cycles-per-instruction increase
+// versus the baseline. CPI (rather than raw cycles) is compared
+// because the adaptive schemes execute extra instrumentation
+// instructions.
+func slowdown(base, scheme *Result) float64 {
+	if base.Instr == 0 || scheme.Instr == 0 || base.Cycles == 0 {
+		return 0
+	}
+	baseCPI := float64(base.Cycles) / float64(base.Instr)
+	// Charge the scheme's cycles against the baseline's useful
+	// instruction count: instrumentation instructions are overhead,
+	// not work.
+	schemeCPI := float64(scheme.Cycles) / float64(base.Instr)
+	return schemeCPI/baseCPI - 1
+}
+
+// DetectorComparison contrasts the two temporal detectors and the
+// hotspot framework on one benchmark — the comparison of Dhodapkar &
+// Smith's "Comparing Program Phase Detection Techniques" [10], which
+// the paper cites for BBV being "one of the best".
+type DetectorComparison struct {
+	Name string
+
+	Base, BBVRun, WSSRun, HotRun *Result
+
+	// Savings over the baseline, L1D and L2 combined.
+	CacheSavingBBV float64
+	CacheSavingWSS float64
+	CacheSavingHot float64
+
+	SlowdownBBV float64
+	SlowdownWSS float64
+	SlowdownHot float64
+}
+
+// CompareDetectors runs a benchmark under the baseline, BBV, WSS, and
+// hotspot schemes.
+func CompareDetectors(spec workload.Spec, opt Options) (*DetectorComparison, error) {
+	base, err := Run(spec, SchemeBaseline, opt)
+	if err != nil {
+		return nil, err
+	}
+	bb, err := Run(spec, SchemeBBV, opt)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := Run(spec, SchemeWSS, opt)
+	if err != nil {
+		return nil, err
+	}
+	hot, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		return nil, err
+	}
+	cacheNJ := func(r *Result) float64 { return r.L1DEnergyNJ + r.L2EnergyNJ }
+	return &DetectorComparison{
+		Name:           spec.Name,
+		Base:           base,
+		BBVRun:         bb,
+		WSSRun:         ws,
+		HotRun:         hot,
+		CacheSavingBBV: saving(cacheNJ(base), cacheNJ(bb)),
+		CacheSavingWSS: saving(cacheNJ(base), cacheNJ(ws)),
+		CacheSavingHot: saving(cacheNJ(base), cacheNJ(hot)),
+		SlowdownBBV:    slowdown(base, bb),
+		SlowdownWSS:    slowdown(base, ws),
+		SlowdownHot:    slowdown(base, hot),
+	}, nil
+}
+
+// AdjustWorkload scales a spec's outer loop count to the options'
+// scale divisor. The suite's defaults are written for scale 10; at
+// paper scale (1) every interval parameter is 10× longer, so programs
+// must run 10× longer for the same number of sampling intervals and
+// hotspot invocations. RunSuite/Collect apply this automatically;
+// direct Run/Compare callers pass specs verbatim.
+func (o Options) AdjustWorkload(s workload.Spec) workload.Spec {
+	if o.ScaleDiv == 10 || o.ScaleDiv == 0 {
+		return s
+	}
+	loops := int(uint64(s.MainLoops) * 10 / o.ScaleDiv)
+	return s.WithMainLoops(loops)
+}
+
+// RunSuite compares every benchmark in the suite, with workload
+// lengths adjusted to the options' scale. The benchmarks run in
+// parallel (every simulation is independent and deterministic); the
+// result order matches workload.Suite().
+func RunSuite(opt Options) ([]*Comparison, error) {
+	specs := workload.Suite()
+	out := make([]*Comparison, len(specs))
+	errs := make([]error, len(specs))
+
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = Compare(opt.AdjustWorkload(spec), opt)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

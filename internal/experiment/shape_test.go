@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"testing"
+
+	"acedo/internal/workload"
+)
+
+// TestWorkloadDemographyInvariants checks that each benchmark's
+// generated program actually produces the hotspot demography the suite
+// was engineered for (DESIGN.md §4, suite.go rules): phases classify
+// into the L2 class, band leaves into the L1D class, and the framework
+// finds a hotspot-dominated execution. A spec edit that silently
+// breaks a benchmark's class structure fails here, not in a drifted
+// figure.
+func TestWorkloadDemographyInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the suite; skipped in -short mode")
+	}
+	opt := DefaultOptions()
+	for _, spec := range workload.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Run(spec.WithMainLoops(2), SchemeHotspot, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := res.Hotspot
+			if h.L2.Hotspots < 2 {
+				t.Errorf("L2-class hotspots = %d, want ≥2 (phases must classify L2)", h.L2.Hotspots)
+			}
+			if h.L1D.Hotspots < 3 {
+				t.Errorf("L1D-class hotspots = %d, want ≥3 (band leaves)", h.L1D.Hotspots)
+			}
+			if h.Unmanaged < 1 {
+				t.Errorf("unmanaged hotspots = %d, want ≥1 (indifferent leaves/transitions)", h.Unmanaged)
+			}
+			if frac := float64(res.AOS.HotspotInstr) / float64(res.Instr); frac < 0.8 {
+				t.Errorf("hotspot instruction share = %.2f, want ≥0.8", frac)
+			}
+			if h.TunedPct < 0.3 {
+				t.Errorf("tuned fraction = %.2f, want ≥0.3 at 2 main loops", h.TunedPct)
+			}
+		})
+	}
+}
+
+// TestHeadlineShapeRegression locks the paper's headline shape on two
+// benchmarks at reduced length: the hotspot framework saves more L1D
+// energy than the BBV comparator, and both save relative to the
+// full-size baseline.
+func TestHeadlineShapeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six simulations; skipped in -short mode")
+	}
+	opt := DefaultOptions()
+	for _, name := range []string{"compress", "db"} {
+		spec, _ := workload.ByName(name)
+		c, err := Compare(spec.WithMainLoops(6), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.L1DSavingHot <= 0.2 {
+			t.Errorf("%s: hotspot L1D saving = %.2f, want >0.2", name, c.L1DSavingHot)
+		}
+		if c.L1DSavingHot <= c.L1DSavingBBV {
+			t.Errorf("%s: hotspot L1D saving (%.2f) must beat BBV (%.2f) — the paper's headline",
+				name, c.L1DSavingHot, c.L1DSavingBBV)
+		}
+		if c.L2SavingHot <= 0.2 {
+			t.Errorf("%s: hotspot L2 saving = %.2f, want >0.2", name, c.L2SavingHot)
+		}
+		if c.SlowdownHot > 0.20 {
+			t.Errorf("%s: hotspot slowdown = %.2f, want ≤0.20", name, c.SlowdownHot)
+		}
+	}
+}
+
+// TestThreeCUExtensionShape locks the extension's scalability story:
+// with three CUs the hotspot framework still saves issue-queue energy
+// while the BBV comparator's 64-combination search saves less.
+func TestThreeCUExtensionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three simulations; skipped in -short mode")
+	}
+	spec, _ := workload.ByName("jess")
+	c, err := Compare(spec.WithMainLoops(6), DefaultOptions().WithThreeCU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IQSavingHot <= 0.1 {
+		t.Errorf("hotspot IQ saving = %.2f, want >0.1", c.IQSavingHot)
+	}
+	if c.HotRun.Hotspot.Micro.Hotspots == 0 {
+		t.Error("no micro-class hotspots with the IQ enabled")
+	}
+	if c.L1DSavingHot <= c.L1DSavingBBV {
+		t.Errorf("hotspot L1D saving (%.2f) must beat BBV (%.2f) with three CUs",
+			c.L1DSavingHot, c.L1DSavingBBV)
+	}
+}
+
+// TestScaledOptionsSmoke exercises a non-default scale end to end:
+// intervals, thresholds and workload lengths must co-scale without
+// faults or empty results.
+func TestScaledOptionsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	opt := OptionsAtScale(5)
+	opt.MaxInstr = 4_000_000
+	spec, _ := workload.ByName("compress")
+	res, err := Run(opt.AdjustWorkload(spec.WithMainLoops(2)), SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AOS.Promotions == 0 {
+		t.Error("no hotspots at scale 5")
+	}
+	// The suite's leaf granularity is written for scale 10; at other
+	// scales the class boundaries shift, but phase methods remain in
+	// the L2 class and the machinery must stay sound.
+	if res.Hotspot.L2.Hotspots == 0 {
+		t.Error("no L2-class hotspots at scale 5")
+	}
+}

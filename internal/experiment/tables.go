@@ -1,0 +1,251 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"acedo/internal/stats"
+	"acedo/internal/workload"
+)
+
+// SuiteResults holds one full evaluation: every benchmark under every
+// scheme, ready to render any of the paper's tables and figures.
+type SuiteResults struct {
+	Options     Options
+	Comparisons []*Comparison
+}
+
+// Collect runs the whole suite once.
+func Collect(opt Options) (*SuiteResults, error) {
+	cs, err := RunSuite(opt)
+	if err != nil {
+		return nil, err
+	}
+	return &SuiteResults{Options: opt, Comparisons: cs}, nil
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// Table1 renders the qualitative latency comparison (paper Table 1),
+// annotated with this run's measured values.
+func (r *SuiteResults) Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1. Comparing DO-based ACE management with temporal approaches")
+	fmt.Fprintf(w, "  %-36s %-34s %s\n", "Metric", "Temporal (BBV)", "DO-based (hotspot)")
+	fmt.Fprintf(w, "  %-36s %-34s %s\n", "New phase identification latency",
+		"at least one sampling interval", "hotspot invoked hot_threshold times")
+	fmt.Fprintf(w, "  %-36s %-34s %s\n", "Recurring phase identification",
+		"at least one sampling interval", "none (zero latency)")
+	fmt.Fprintf(w, "  %-36s %-34s %s\n", "Tuning latency",
+		"all combinations tested (16)", "a subset per hotspot (4)")
+	var ident []float64
+	for _, c := range r.Comparisons {
+		ident = append(ident, float64(c.HotRun.AOS.IdentLatencyInstr)/float64(c.HotRun.Instr))
+	}
+	fmt.Fprintf(w, "  measured: mean hotspot identification latency = %s of execution\n",
+		pct(stats.Mean(ident)))
+}
+
+// Table2 renders the simulated-system configuration (paper Table 2).
+func (r *SuiteResults) Table2(w io.Writer) {
+	m := r.Options.Machine
+	t := m.Timing
+	fmt.Fprintln(w, "Table 2. Baseline configuration of the simulated system")
+	fmt.Fprintf(w, "  CPU: %d-wide issue/commit, 2K-entry combined predictor, %d-cycle mispredict\n",
+		t.IssueWidth, t.MispredictPenalty)
+	fmt.Fprintf(w, "  L1 I-cache: %d KB, 64 B blocks, 2-way, LRU\n", m.L1ISize/1024)
+	fmt.Fprintf(w, "  L1 D-cache: sizes %v KB, 64 B blocks, 2-way, LRU, reconfig interval %d instr\n",
+		kbList(m.L1DSizes), m.L1DReconfigInterval)
+	fmt.Fprintf(w, "  L2 unified: sizes %v KB, 128 B blocks, 4-way, LRU, %d-cycle hit, reconfig interval %d instr\n",
+		kbList(m.L2Sizes), t.L2HitLatency, m.L2ReconfigInterval)
+	fmt.Fprintf(w, "  DTLB/ITLB: %d entries, fully associative, %d B pages, %d-cycle miss\n",
+		m.TLBEntries, m.PageBytes, t.TLBMissCycles)
+	fmt.Fprintf(w, "  Memory: %d-cycle latency; exposure L2=%.2f mem=%.2f (MLP overlap)\n",
+		t.MemLatency, t.L2Exposure, t.MemExposure)
+	fmt.Fprintf(w, "  Scale divisor: %d (DESIGN.md §4)\n", r.Options.ScaleDiv)
+}
+
+func kbList(sizes []int) []int {
+	out := make([]int, len(sizes))
+	for i, s := range sizes {
+		out[i] = s / 1024
+	}
+	return out
+}
+
+// Table3 renders the benchmark descriptions (paper Table 3).
+func (r *SuiteResults) Table3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3. Description of SPECjvm98 benchmarks (synthetic stand-ins)")
+	for _, s := range workload.Suite() {
+		fmt.Fprintf(w, "  %-10s %s\n", s.Name, s.Desc)
+	}
+}
+
+// Figure1 renders the stable/transitional BBV phase distribution.
+func (r *SuiteResults) Figure1(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1. Distribution of stable/transitional BBV phase intervals")
+	fmt.Fprintf(w, "  %-10s %10s %14s\n", "benchmark", "stable", "transitional")
+	var sts []float64
+	for _, c := range r.Comparisons {
+		st := c.BBVRun.BBV.StablePct
+		sts = append(sts, st)
+		fmt.Fprintf(w, "  %-10s %10s %14s\n", c.Name, pct(st), pct(1-st))
+	}
+	avg := stats.Mean(sts)
+	fmt.Fprintf(w, "  %-10s %10s %14s\n", "avg", pct(avg), pct(1-avg))
+}
+
+// Table4 renders the runtime hotspot characteristics.
+func (r *SuiteResults) Table4(w io.Writer) {
+	fmt.Fprintln(w, "Table 4. Runtime hotspot characteristics")
+	fmt.Fprintf(w, "  %-10s %14s %9s %10s %8s %9s %9s\n",
+		"benchmark", "dyn instr", "hotspots", "avg size", "%code", "avg inv", "ident%")
+	for _, c := range r.Comparisons {
+		h := c.HotRun
+		fmt.Fprintf(w, "  %-10s %14d %9d %10.0f %8s %9.0f %9s\n",
+			c.Name, h.Instr, h.AOS.Promotions, h.AOS.MeanSize,
+			pct(float64(h.AOS.HotspotInstr)/float64(h.Instr)),
+			h.AOS.MeanInvocation,
+			pct(float64(h.AOS.IdentLatencyInstr)/float64(h.Instr)))
+	}
+}
+
+// Table5 renders the hotspot-vs-BBV runtime characteristics.
+func (r *SuiteResults) Table5(w io.Writer) {
+	fmt.Fprintln(w, "Table 5. Runtime characteristics of the hotspot and BBV approaches")
+	fmt.Fprintf(w, "  %-10s | %5s %4s %5s %6s %7s %8s | %6s %5s %8s %7s %8s\n",
+		"benchmark", "L1Dh", "L2h", "tuned", "%tuned", "perCoV", "interCoV",
+		"phases", "tuned", "%inTuned", "perCoV", "interCoV")
+	for _, c := range r.Comparisons {
+		h := c.HotRun.Hotspot
+		b := c.BBVRun.BBV
+		fmt.Fprintf(w, "  %-10s | %5d %4d %5d %6s %7s %8s | %6d %5d %8s %7s %8s\n",
+			c.Name,
+			h.L1D.Hotspots, h.L2.Hotspots, h.L1D.Tuned+h.L2.Tuned,
+			pct(h.TunedPct), pct(h.PerHotspotIPCCoV), pct(h.InterHotspotIPCCoV),
+			b.Phases, b.TunedPhases, pct(b.PctIntervalsInTuned),
+			pct(b.PerPhaseIPCCoV), pct(b.InterPhaseIPCCoV))
+	}
+}
+
+// Table6 renders tunings, reconfigurations and coverage.
+func (r *SuiteResults) Table6(w io.Writer) {
+	fmt.Fprintln(w, "Table 6. Tunings, reconfigurations and coverage")
+	fmt.Fprintf(w, "  %-10s | %7s %8s %6s | %7s %8s %6s | %7s %8s %6s\n",
+		"benchmark",
+		"L1Dtun", "L1Drec", "L1Dcov",
+		"L2tun", "L2rec", "L2cov",
+		"BBVtun", "BBVrec", "BBVcov")
+	for _, c := range r.Comparisons {
+		h := c.HotRun.Hotspot
+		b := c.BBVRun.BBV
+		fmt.Fprintf(w, "  %-10s | %7d %8d %6s | %7d %8d %6s | %7d %8d %6s\n",
+			c.Name,
+			h.L1D.Tunings, h.L1D.Reconfigs, pct(h.L1D.Coverage),
+			h.L2.Tunings, h.L2.Reconfigs, pct(h.L2.Coverage),
+			b.Tunings, b.Reconfigs, pct(b.Coverage))
+	}
+}
+
+// Figure3 renders the cache energy reductions.
+func (r *SuiteResults) Figure3(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3. Cache energy reduction over the full-size baseline")
+	fmt.Fprintf(w, "  %-10s | %9s %9s | %9s %9s\n",
+		"benchmark", "L1D BBV", "L1D hot", "L2 BBV", "L2 hot")
+	var a, b, c2, d []float64
+	for _, c := range r.Comparisons {
+		a = append(a, c.L1DSavingBBV)
+		b = append(b, c.L1DSavingHot)
+		c2 = append(c2, c.L2SavingBBV)
+		d = append(d, c.L2SavingHot)
+		fmt.Fprintf(w, "  %-10s | %9s %9s | %9s %9s\n",
+			c.Name, pct(c.L1DSavingBBV), pct(c.L1DSavingHot),
+			pct(c.L2SavingBBV), pct(c.L2SavingHot))
+	}
+	fmt.Fprintf(w, "  %-10s | %9s %9s | %9s %9s\n", "avg",
+		pct(stats.Mean(a)), pct(stats.Mean(b)), pct(stats.Mean(c2)), pct(stats.Mean(d)))
+}
+
+// Figure4 renders the performance degradation.
+func (r *SuiteResults) Figure4(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4. Performance degradation over the baseline")
+	fmt.Fprintf(w, "  %-10s %10s %10s\n", "benchmark", "BBV", "hotspot")
+	var a, b []float64
+	for _, c := range r.Comparisons {
+		a = append(a, c.SlowdownBBV)
+		b = append(b, c.SlowdownHot)
+		fmt.Fprintf(w, "  %-10s %10s %10s\n", c.Name, pct(c.SlowdownBBV), pct(c.SlowdownHot))
+	}
+	fmt.Fprintf(w, "  %-10s %10s %10s\n", "avg", pct(stats.Mean(a)), pct(stats.Mean(b)))
+}
+
+const ln = "\n"
+
+// DetectorTable renders the detector-comparison extension: the two
+// temporal detectors (BBV, working-set signatures) with the identical
+// exhaustive tuner, against the hotspot framework.
+func DetectorTable(w io.Writer, cs []*DetectorComparison) {
+	fmt.Fprintln(w, "Extension: phase-detector comparison (cache energy saving | stable share | slowdown)")
+	fmt.Fprintf(w, "  %-10s | %8s %8s %8s | %8s %8s | %8s %8s %8s"+ln,
+		"benchmark", "BBV", "WSS", "hotspot", "BBVstbl", "WSSstbl", "BBVslow", "WSSslow", "hotslow")
+	var b, ws, h []float64
+	for _, c := range cs {
+		b = append(b, c.CacheSavingBBV)
+		ws = append(ws, c.CacheSavingWSS)
+		h = append(h, c.CacheSavingHot)
+		fmt.Fprintf(w, "  %-10s | %8s %8s %8s | %8s %8s | %8s %8s %8s"+ln,
+			c.Name,
+			pct(c.CacheSavingBBV), pct(c.CacheSavingWSS), pct(c.CacheSavingHot),
+			pct(c.BBVRun.BBV.StablePct), pct(c.WSSRun.BBV.StablePct),
+			pct(c.SlowdownBBV), pct(c.SlowdownWSS), pct(c.SlowdownHot))
+	}
+	fmt.Fprintf(w, "  %-10s | %8s %8s %8s |"+ln, "avg",
+		pct(stats.Mean(b)), pct(stats.Mean(ws)), pct(stats.Mean(h)))
+}
+
+// ExtensionThreeCU renders the three-CU extension experiment: the
+// results must come from a collection run with
+// Options.WithThreeCU(). It shows the issue-queue savings alongside
+// the caches' and the comparator's collapse under 64 combinatorial
+// configurations.
+func (r *SuiteResults) ExtensionThreeCU(w io.Writer) {
+	fmt.Fprintln(w, "Extension: three configurable units (L1D + L2 + issue queue)")
+	fmt.Fprintln(w, "  BBV must now explore 64 combinatorial configurations; the hotspot")
+	fmt.Fprintln(w, "  framework still tests 4 per hotspot (CU decoupling, Section 2.3).")
+	fmt.Fprintf(w, "  %-10s | %8s %8s | %8s %8s | %8s %8s | %8s %8s | %7s %7s"+ln,
+		"benchmark", "IQ BBV", "IQ hot", "L1D BBV", "L1D hot", "L2 BBV", "L2 hot",
+		"tunedBBV", "tunedHot", "slowBBV", "slowHot")
+	var iqB, iqH []float64
+	for _, c := range r.Comparisons {
+		iqB = append(iqB, c.IQSavingBBV)
+		iqH = append(iqH, c.IQSavingHot)
+		fmt.Fprintf(w, "  %-10s | %8s %8s | %8s %8s | %8s %8s | %8s %8s | %7s %7s"+ln,
+			c.Name,
+			pct(c.IQSavingBBV), pct(c.IQSavingHot),
+			pct(c.L1DSavingBBV), pct(c.L1DSavingHot),
+			pct(c.L2SavingBBV), pct(c.L2SavingHot),
+			pct(c.BBVRun.BBV.PctIntervalsInTuned), pct(c.HotRun.Hotspot.TunedPct),
+			pct(c.SlowdownBBV), pct(c.SlowdownHot))
+	}
+	fmt.Fprintf(w, "  %-10s | %8s %8s |"+ln, "avg", pct(stats.Mean(iqB)), pct(stats.Mean(iqH)))
+}
+
+// WriteAll renders every table and figure in paper order.
+func (r *SuiteResults) WriteAll(w io.Writer) {
+	r.Table1(w)
+	fmt.Fprintln(w)
+	r.Table2(w)
+	fmt.Fprintln(w)
+	r.Table3(w)
+	fmt.Fprintln(w)
+	r.Figure1(w)
+	fmt.Fprintln(w)
+	r.Table4(w)
+	fmt.Fprintln(w)
+	r.Table5(w)
+	fmt.Fprintln(w)
+	r.Table6(w)
+	fmt.Fprintln(w)
+	r.Figure3(w)
+	fmt.Fprintln(w)
+	r.Figure4(w)
+}

@@ -1,0 +1,108 @@
+// Package hotspot classifies detected hotspots by dynamic size — the
+// heart of CU decoupling (paper Section 3.2.1): a hotspot is matched
+// with the subset of configurable units whose reconfiguration
+// intervals are in the same range as the hotspot's size, so
+// low-overhead units are adapted at small-hotspot boundaries and
+// high-overhead units at large-hotspot boundaries.
+package hotspot
+
+import "fmt"
+
+// Class names the CU subset a hotspot adapts.
+type Class int
+
+const (
+	// ClassNone marks hotspots too small to amortize even the
+	// cheapest unit's reconfiguration; they are JIT-optimized but
+	// not instrumented for tuning.
+	ClassNone Class = iota
+	// ClassMicro marks hotspots sized for the issue queue's
+	// reconfiguration interval — the extension third CU (paper
+	// Section 4.1: "we are implementing several more CUs, such as
+	// the issue window and the reorder buffer"). Only used when
+	// the bounds enable it.
+	ClassMicro
+	// ClassL1D marks hotspots sized for the L1 data cache's
+	// reconfiguration interval (paper: 50 K–500 K instructions).
+	ClassL1D
+	// ClassL2 marks hotspots sized for the L2 cache's interval
+	// (paper: ≥500 K instructions).
+	ClassL2
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassMicro:
+		return "micro"
+	case ClassL1D:
+		return "L1D"
+	case ClassL2:
+		return "L2"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Bounds holds the size thresholds in instructions.
+type Bounds struct {
+	// MicroMin, when positive, enables the micro class: hotspots
+	// in [MicroMin, L1DMin) adapt the issue queue.
+	MicroMin float64
+	// L1DMin is the smallest mean invocation size that adapts the
+	// L1D cache.
+	L1DMin float64
+	// L2Min is the smallest mean invocation size that adapts the
+	// L2 cache; it is also the upper bound of the L1D class.
+	L2Min float64
+}
+
+// PaperBounds returns the paper's thresholds (50 K / 500 K
+// instructions), divided by scaleDiv (see DESIGN.md §4).
+func PaperBounds(scaleDiv uint64) Bounds {
+	if scaleDiv == 0 {
+		scaleDiv = 1
+	}
+	return Bounds{
+		L1DMin: 50_000 / float64(scaleDiv),
+		L2Min:  500_000 / float64(scaleDiv),
+	}
+}
+
+// WithMicro returns the bounds with the micro class enabled below the
+// L1D class (paper-scale 5 K instructions, matching the issue queue's
+// reconfiguration interval).
+func (b Bounds) WithMicro(scaleDiv uint64) Bounds {
+	if scaleDiv == 0 {
+		scaleDiv = 1
+	}
+	b.MicroMin = 5_000 / float64(scaleDiv)
+	return b
+}
+
+// Validate checks threshold ordering.
+func (b Bounds) Validate() error {
+	if b.L1DMin <= 0 || b.L2Min <= b.L1DMin {
+		return fmt.Errorf("hotspot: bounds must satisfy 0 < L1DMin < L2Min, got %+v", b)
+	}
+	if b.MicroMin < 0 || (b.MicroMin > 0 && b.MicroMin >= b.L1DMin) {
+		return fmt.Errorf("hotspot: MicroMin must satisfy 0 ≤ MicroMin < L1DMin, got %+v", b)
+	}
+	return nil
+}
+
+// Classify maps a hotspot's mean inclusive invocation size to its CU
+// class.
+func (b Bounds) Classify(meanSize float64) Class {
+	switch {
+	case meanSize >= b.L2Min:
+		return ClassL2
+	case meanSize >= b.L1DMin:
+		return ClassL1D
+	case b.MicroMin > 0 && meanSize >= b.MicroMin:
+		return ClassMicro
+	default:
+		return ClassNone
+	}
+}

@@ -1,0 +1,68 @@
+package hotspot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperBounds(t *testing.T) {
+	b := PaperBounds(1)
+	if b.L1DMin != 50_000 || b.L2Min != 500_000 {
+		t.Errorf("paper bounds = %+v", b)
+	}
+	b10 := PaperBounds(10)
+	if b10.L1DMin != 5_000 || b10.L2Min != 50_000 {
+		t.Errorf("scaled bounds = %+v", b10)
+	}
+	if PaperBounds(0) != PaperBounds(1) {
+		t.Error("scale 0 should mean scale 1")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := PaperBounds(1).Validate(); err != nil {
+		t.Errorf("paper bounds invalid: %v", err)
+	}
+	bad := []Bounds{
+		{L1DMin: 0, L2Min: 10},
+		{L1DMin: 10, L2Min: 10},
+		{L1DMin: 10, L2Min: 5},
+		{L1DMin: -1, L2Min: 5},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bounds %+v should be invalid", b)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	b := Bounds{L1DMin: 5_000, L2Min: 50_000}
+	cases := []struct {
+		size float64
+		want Class
+	}{
+		{0, ClassNone},
+		{4_999, ClassNone},
+		{5_000, ClassL1D},
+		{49_999, ClassL1D},
+		{50_000, ClassL2},
+		{1e9, ClassL2},
+	}
+	for _, c := range cases {
+		if got := b.Classify(c.size); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.size, got, c.want)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassNone, ClassL1D, ClassL2} {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if Class(99).String() != "class(99)" {
+		t.Error("unknown class string wrong")
+	}
+}

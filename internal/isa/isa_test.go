@@ -1,0 +1,129 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := Opcode(0); op < opcodeCount; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if got := Opcode(200).String(); got != "op(200)" {
+		t.Errorf("unknown opcode string = %q", got)
+	}
+}
+
+func TestOpcodeValid(t *testing.T) {
+	for op := Opcode(0); op < opcodeCount; op++ {
+		if !op.Valid() {
+			t.Errorf("opcode %s should be valid", op)
+		}
+	}
+	if Opcode(opcodeCount).Valid() {
+		t.Error("sentinel opcode should be invalid")
+	}
+}
+
+func TestOpcodeClassPredicates(t *testing.T) {
+	cases := []struct {
+		op                                    Opcode
+		branch, cond, term, mem, call, wantOK bool
+	}{
+		{op: OpBr, branch: true, cond: true, term: true},
+		{op: OpBrZ, branch: true, cond: true, term: true},
+		{op: OpJmp, branch: true, term: true},
+		{op: OpRet, term: true},
+		{op: OpHalt, term: true},
+		{op: OpLoad, mem: true},
+		{op: OpStore, mem: true},
+		{op: OpCall, call: true},
+		{op: OpCallR, call: true},
+		{op: OpAdd},
+		{op: OpConst},
+	}
+	for _, c := range cases {
+		if got := c.op.IsBranch(); got != c.branch {
+			t.Errorf("%s.IsBranch() = %v", c.op, got)
+		}
+		if got := c.op.IsConditional(); got != c.cond {
+			t.Errorf("%s.IsConditional() = %v", c.op, got)
+		}
+		if got := c.op.IsTerminator(); got != c.term {
+			t.Errorf("%s.IsTerminator() = %v", c.op, got)
+		}
+		if got := c.op.IsMem(); got != c.mem {
+			t.Errorf("%s.IsMem() = %v", c.op, got)
+		}
+		if got := c.op.IsCall(); got != c.call {
+			t.Errorf("%s.IsCall() = %v", c.op, got)
+		}
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	valid := []Instr{
+		{Op: OpNop},
+		{Op: OpConst, A: 31, Imm: -5},
+		{Op: OpAdd, A: 1, B: 2, C: 3},
+		{Op: OpLoad, A: 1, B: 2, Imm: -8},
+		{Op: OpBr, A: 0, Imm: 0},
+		{Op: OpCall, A: 4, Imm: 7},
+	}
+	for _, in := range valid {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate(%s) = %v, want nil", in, err)
+		}
+	}
+	invalid := []Instr{
+		{Op: opcodeCount},
+		{Op: OpAdd, A: NumRegs},
+		{Op: OpAdd, B: NumRegs},
+		{Op: OpAdd, C: NumRegs},
+		{Op: OpBr, Imm: -1},
+		{Op: OpJmp, Imm: -2},
+		{Op: OpCall, Imm: -1},
+	}
+	for _, in := range invalid {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", in)
+		}
+	}
+}
+
+func TestInstrStringCoversAllOpcodes(t *testing.T) {
+	for op := Opcode(0); op < opcodeCount; op++ {
+		in := Instr{Op: op, A: 1, B: 2, C: 3, Imm: 4}
+		if s := in.String(); s == "" {
+			t.Errorf("empty disassembly for %s", op)
+		}
+	}
+}
+
+func TestValidatePropertyRegisterBounds(t *testing.T) {
+	// Any instruction whose register operands are all < NumRegs and
+	// whose branch/call immediates are non-negative must validate.
+	f := func(op uint8, a, b, c uint8, imm int64) bool {
+		in := Instr{
+			Op:  Opcode(op % uint8(opcodeCount)),
+			A:   a % NumRegs,
+			B:   b % NumRegs,
+			C:   c % NumRegs,
+			Imm: imm,
+		}
+		switch in.Op {
+		case OpBr, OpBrZ, OpJmp, OpCall:
+			if in.Imm < 0 {
+				in.Imm = -in.Imm
+			}
+		}
+		return in.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

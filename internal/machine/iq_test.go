@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"testing"
+)
+
+func newIQMach(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(PaperConfig(10).WithIQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIQDisabledByDefault(t *testing.T) {
+	m := newMach(t)
+	if m.IQUnit != nil || m.MIQ != nil {
+		t.Error("IQ must be disabled without Config.IQSizes")
+	}
+	if len(m.Units()) != 2 {
+		t.Errorf("Units = %d, want 2", len(m.Units()))
+	}
+	if m.Snapshot().IQnJ != 0 {
+		t.Error("IQ energy must be zero when disabled")
+	}
+}
+
+func TestIQEnabled(t *testing.T) {
+	m := newIQMach(t)
+	if m.IQUnit == nil || m.MIQ == nil {
+		t.Fatal("IQ unit missing")
+	}
+	us := m.Units()
+	if len(us) != 3 || us[2].Name() != "IQ" {
+		t.Errorf("Units = %v", us)
+	}
+	if m.IQUnit.Current() != 64 {
+		t.Errorf("initial window = %d, want 64", m.IQUnit.Current())
+	}
+	if m.IQUnit.Interval() != 1000 {
+		t.Errorf("IQ interval = %d, want 1000 at scale 10", m.IQUnit.Interval())
+	}
+}
+
+func TestIQEnergyChargedPerInstruction(t *testing.T) {
+	m := newIQMach(t)
+	m.Issue(1000)
+	snap := m.Snapshot()
+	if snap.IQnJ <= 0 {
+		t.Error("issuing instructions must charge IQ energy")
+	}
+}
+
+func TestIQResizeAdjustsWindowModel(t *testing.T) {
+	m := newIQMach(t)
+	m.Issue(10_000)
+	if !m.IQUnit.Request(0, m.Instructions()) {
+		t.Fatal("IQ resize rejected")
+	}
+	if got := m.Timing.WindowMult(); got <= 1 {
+		t.Errorf("window multiplier = %v, want >1 at 16 entries", got)
+	}
+	// Misses now cost more cycles.
+	before := m.Timing.Breakdown().StallCycles
+	m.Data(1<<20, false) // L1D+L2 miss
+	small := m.Timing.Breakdown().StallCycles - before
+
+	m2 := newIQMach(t)
+	m2.Issue(10_000)
+	before2 := m2.Timing.Breakdown().StallCycles
+	m2.Data(1<<20, false)
+	full := m2.Timing.Breakdown().StallCycles - before2
+
+	if small <= full {
+		t.Errorf("miss at 16 entries cost %d cycles, full window %d: want more", small, full)
+	}
+}
+
+func TestIQSmallerWindowSavesEnergy(t *testing.T) {
+	// Same activity at 16 entries must cost less IQ energy than at
+	// 64 (dynamic + leakage both scale with entries).
+	run := func(resize bool) float64 {
+		m := newIQMach(t)
+		m.Issue(10_000)
+		if resize {
+			if !m.IQUnit.Request(0, m.Instructions()) {
+				t.Fatal("resize rejected")
+			}
+		}
+		m.Issue(1_000_000)
+		return m.Snapshot().IQnJ
+	}
+	if small, full := run(true), run(false); small >= full {
+		t.Errorf("IQ energy at 16 entries (%.0f nJ) not below 64 entries (%.0f nJ)", small, full)
+	}
+}
+
+func TestIQGuardEnforcesInterval(t *testing.T) {
+	m := newIQMach(t)
+	m.Issue(5000)
+	if !m.IQUnit.Request(0, m.Instructions()) {
+		t.Fatal("first resize rejected")
+	}
+	m.Issue(100) // within the 1000-instruction interval
+	if m.IQUnit.Request(3, m.Instructions()) {
+		t.Error("resize within the reconfiguration interval must be ignored")
+	}
+	m.Issue(2000)
+	if !m.IQUnit.Request(3, m.Instructions()) {
+		t.Error("resize after the interval should be accepted")
+	}
+	if m.Timing.WindowMult() != 1 {
+		t.Errorf("window multiplier at full size = %v, want 1", m.Timing.WindowMult())
+	}
+}

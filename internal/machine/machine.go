@@ -1,0 +1,385 @@
+// Package machine assembles the simulated hardware platform of the
+// paper's Table 2: a 4-wide core with a 2K-entry combined branch
+// predictor, a fixed 64 KB L1 I-cache, a size-adaptable L1 D-cache
+// (64/32/16/8 KB, 100 K-instruction reconfiguration interval), a
+// size-adaptable unified L2 (1 M/512 K/256 K/128 K, 1 M-instruction
+// interval), 128-entry fully-associative I/D TLBs, and Wattch-style
+// energy meters on the configurable units. An optional third unit —
+// the 16/32/48/64-entry issue queue (Config.WithIQ) — models the
+// paper's in-progress extension CUs.
+//
+// The execution engine drives the machine with architectural events
+// (Issue, Fetch, Data, CondBranch); the ACE managers drive it through
+// the ace.Unit control registers (L1DUnit, L2Unit, IQUnit).
+package machine
+
+import (
+	"fmt"
+
+	"acedo/internal/ace"
+	"acedo/internal/cache"
+	"acedo/internal/cpu"
+	"acedo/internal/power"
+)
+
+const kb = 1024
+
+// Instruction addresses are 4 bytes apart and live in a region
+// disjoint from data so the unified L2 keeps I- and D-blocks apart.
+const (
+	instrBytes = 4
+	iBase      = uint64(1) << 40
+)
+
+// Config parameterises the machine. ScaledConfig and PaperConfig build
+// the standard instances.
+type Config struct {
+	L1DSizes []int // ascending; largest is the baseline size
+	L2Sizes  []int
+
+	L1ISize int
+
+	// IQSizes, when non-nil, enables the third configurable unit —
+	// the issue queue / instruction window (entry counts,
+	// ascending; the largest is the baseline 64-entry window of
+	// Table 2). Nil reproduces the paper's two-CU evaluation.
+	IQSizes []int
+
+	L1DReconfigInterval uint64 // instructions
+	L2ReconfigInterval  uint64
+	IQReconfigInterval  uint64
+
+	TLBEntries int
+	PageBytes  int
+
+	Timing cpu.TimingConfig
+}
+
+// PaperConfig returns the paper's Table 2 configuration, with the
+// reconfiguration intervals divided by scaleDiv (1 reproduces the
+// paper exactly; the default experiments use 10 — see DESIGN.md §4).
+func PaperConfig(scaleDiv uint64) Config {
+	if scaleDiv == 0 {
+		scaleDiv = 1
+	}
+	return Config{
+		L1DSizes:            []int{8 * kb, 16 * kb, 32 * kb, 64 * kb},
+		L2Sizes:             []int{128 * kb, 256 * kb, 512 * kb, 1024 * kb},
+		L1ISize:             64 * kb,
+		L1DReconfigInterval: 100_000 / scaleDiv,
+		L2ReconfigInterval:  1_000_000 / scaleDiv,
+		IQReconfigInterval:  10_000 / scaleDiv,
+		TLBEntries:          128,
+		PageBytes:           4096,
+		Timing:              cpu.DefaultTimingConfig(),
+	}
+}
+
+// WithIQ returns the configuration with the issue-queue unit enabled
+// at the standard 16/32/48/64-entry settings.
+func (c Config) WithIQ() Config {
+	c.IQSizes = []int{16, 32, 48, 64}
+	return c
+}
+
+// Machine is the simulated hardware. All fields are owned by the
+// single simulation goroutine; the machine is not safe for concurrent
+// use.
+type Machine struct {
+	cfg Config
+
+	L1I *cache.Cache
+	L1D *cache.Cache
+	L2  *cache.Cache
+
+	ITLB *cache.TLB
+	DTLB *cache.TLB
+
+	Pred   *cpu.Predictor
+	Timing *cpu.Timing
+
+	ML1I *power.Meter
+	ML1D *power.Meter
+	ML2  *power.Meter
+	MIQ  *power.Meter // nil unless the IQ unit is enabled
+
+	// L1DUnit and L2Unit are the control registers for the two
+	// configurable caches (paper Section 3.4); IQUnit is the
+	// optional third unit (nil unless Config.IQSizes is set).
+	L1DUnit *ace.Unit
+	L2Unit  *ace.Unit
+	IQUnit  *ace.Unit
+
+	iqBase int // largest window size
+
+	instructions uint64
+	booted       bool
+
+	// OnReconfigure, when set, observes every accepted
+	// configuration change (for tracing/visualization; it must not
+	// call back into the machine).
+	OnReconfigure func(unit string, setting int, instr uint64)
+}
+
+// New constructs a machine at the baseline (largest) configuration.
+func New(cfg Config) (*Machine, error) {
+	if len(cfg.L1DSizes) == 0 || len(cfg.L2Sizes) == 0 {
+		return nil, fmt.Errorf("machine: missing cache size lists")
+	}
+	m := &Machine{cfg: cfg}
+
+	maxL1D := cfg.L1DSizes[len(cfg.L1DSizes)-1]
+	maxL2 := cfg.L2Sizes[len(cfg.L2Sizes)-1]
+
+	var err error
+	if m.L1I, err = cache.New("L1I", cfg.L1ISize, 64, 2); err != nil {
+		return nil, err
+	}
+	if m.L1D, err = cache.New("L1D", maxL1D, 64, 2); err != nil {
+		return nil, err
+	}
+	if m.L2, err = cache.New("L2", maxL2, 128, 4); err != nil {
+		return nil, err
+	}
+	m.ITLB = cache.NewTLB("ITLB", cfg.TLBEntries, cfg.PageBytes)
+	m.DTLB = cache.NewTLB("DTLB", cfg.TLBEntries, cfg.PageBytes)
+	m.Pred = cpu.NewPredictor()
+	m.Timing = cpu.NewTiming(cfg.Timing)
+
+	if m.ML1I, err = power.NewMeter(power.L1Model("L1I"), cfg.L1ISize); err != nil {
+		return nil, err
+	}
+	if m.ML1D, err = power.NewMeter(power.L1Model("L1D"), maxL1D); err != nil {
+		return nil, err
+	}
+	if m.ML2, err = power.NewMeter(power.L2Model(), maxL2); err != nil {
+		return nil, err
+	}
+
+	m.L1DUnit, err = ace.NewUnit("L1D", cfg.L1DSizes, len(cfg.L1DSizes)-1,
+		cfg.L1DReconfigInterval, m.applyL1D)
+	if err != nil {
+		return nil, err
+	}
+	m.L2Unit, err = ace.NewUnit("L2", cfg.L2Sizes, len(cfg.L2Sizes)-1,
+		cfg.L2ReconfigInterval, m.applyL2)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.IQSizes) > 0 {
+		m.iqBase = cfg.IQSizes[len(cfg.IQSizes)-1]
+		if m.MIQ, err = power.NewMeter(power.IQModel(), m.iqBase); err != nil {
+			return nil, err
+		}
+		m.IQUnit, err = ace.NewUnit("IQ", cfg.IQSizes, len(cfg.IQSizes)-1,
+			cfg.IQReconfigInterval, m.applyIQ)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.booted = true
+	return m, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Units returns the machine's configurable units, L1D first, then L2,
+// then (when enabled) the issue queue.
+func (m *Machine) Units() []*ace.Unit {
+	us := []*ace.Unit{m.L1DUnit, m.L2Unit}
+	if m.IQUnit != nil {
+		us = append(us, m.IQUnit)
+	}
+	return us
+}
+
+// applyIQ resizes the instruction window: drain the in-flight window
+// (a fixed-cycle cost, no data movement), adjust the timing model's
+// exposure, and switch the energy meter.
+func (m *Machine) applyIQ(entries int, nowInstr uint64) {
+	if !m.booted {
+		return
+	}
+	if m.OnReconfigure != nil {
+		m.OnReconfigure("IQ", entries, nowInstr)
+	}
+	cycles := m.Timing.Cycles()
+	m.Timing.SetWindow(entries, m.iqBase)
+	if err := m.MIQ.SetSize(entries, cycles); err != nil {
+		panic(fmt.Sprintf("machine: IQ meter: %v", err))
+	}
+	m.Timing.Reconfigure(0)
+}
+
+// applyL1D performs the L1D resize: flush dirty lines to L2 (charged
+// as L2 accesses plus flush energy) and charge the timing model.
+func (m *Machine) applyL1D(size int, nowInstr uint64) {
+	if !m.booted {
+		return // initial apply at construction; cache already at size
+	}
+	if m.OnReconfigure != nil {
+		m.OnReconfigure("L1D", size, nowInstr)
+	}
+	cycles := m.Timing.Cycles()
+	wb, err := m.L1D.Resize(size)
+	if err != nil {
+		panic(fmt.Sprintf("machine: L1D resize: %v", err))
+	}
+	if err := m.ML1D.SetSize(size, cycles); err != nil {
+		panic(fmt.Sprintf("machine: L1D meter: %v", err))
+	}
+	m.ML1D.FlushWritebacks(wb)
+	m.ML2.AccessN(uint64(wb)) // flushed lines land in L2
+	m.Timing.Reconfigure(wb)
+}
+
+// applyL2 performs the L2 resize: dirty lines go to memory.
+func (m *Machine) applyL2(size int, nowInstr uint64) {
+	if !m.booted {
+		return
+	}
+	if m.OnReconfigure != nil {
+		m.OnReconfigure("L2", size, nowInstr)
+	}
+	cycles := m.Timing.Cycles()
+	wb, err := m.L2.Resize(size)
+	if err != nil {
+		panic(fmt.Sprintf("machine: L2 resize: %v", err))
+	}
+	if err := m.ML2.SetSize(size, cycles); err != nil {
+		panic(fmt.Sprintf("machine: L2 meter: %v", err))
+	}
+	m.ML2.FlushWritebacks(wb)
+	m.Timing.Reconfigure(wb)
+}
+
+// Instructions returns the number of retired instructions.
+func (m *Machine) Instructions() uint64 { return m.instructions }
+
+// Cycles returns the current cycle count.
+func (m *Machine) Cycles() uint64 { return m.Timing.Cycles() }
+
+// Issue retires n instructions (issue bandwidth + instruction count;
+// with the IQ unit enabled, each instruction pays the window's
+// per-entry wakeup/select energy).
+func (m *Machine) Issue(n uint64) {
+	m.instructions += n
+	m.Timing.Issue(n)
+	if m.MIQ != nil {
+		m.MIQ.AccessN(n)
+	}
+}
+
+// Fetch simulates the instruction fetch for the basic block whose
+// first instruction has global index pc. The block's instructions are
+// fetched as one L1I access (64 B lines hold 16 instructions; the
+// engine calls Fetch once per block entry).
+func (m *Machine) Fetch(pc uint64) {
+	addr := iBase + pc*instrBytes
+	if !m.ITLB.Access(addr) {
+		m.Timing.TLBMiss()
+	}
+	m.ML1I.Access()
+	r := m.L1I.Access(addr, false)
+	if r.Writeback {
+		m.l2Access(r.WritebackAddr, true)
+	}
+	if !r.Hit {
+		m.Timing.L1Miss()
+		m.l2Access(addr, false)
+	}
+}
+
+// Data simulates a data access to the given word address.
+func (m *Machine) Data(wordAddr uint64, write bool) {
+	addr := wordAddr * 8
+	if !m.DTLB.Access(addr) {
+		m.Timing.TLBMiss()
+	}
+	m.ML1D.Access()
+	r := m.L1D.Access(addr, write)
+	if r.Writeback {
+		m.l2Access(r.WritebackAddr, true)
+	}
+	if !r.Hit {
+		m.Timing.L1Miss()
+		m.l2Access(addr, false)
+	}
+}
+
+func (m *Machine) l2Access(addr uint64, write bool) {
+	m.ML2.Access()
+	r := m.L2.Access(addr, write)
+	if !r.Hit {
+		m.Timing.L2Miss()
+	}
+}
+
+// CondBranch records the outcome of the conditional branch at global
+// instruction index pc and charges a misprediction if the combined
+// predictor got it wrong.
+func (m *Machine) CondBranch(pc uint64, outcome bool) {
+	if !m.Pred.Predict(pc, outcome) {
+		m.Timing.Mispredict()
+	}
+}
+
+// Snapshot is a point-in-time reading of the measures the tuning code
+// samples at hotspot boundaries: retired instructions, cycles, and the
+// energy of the two configurable caches.
+type Snapshot struct {
+	Instr  uint64
+	Cycles uint64
+	L1DnJ  float64
+	L2nJ   float64
+	// IQnJ is zero when the issue-queue unit is disabled.
+	IQnJ float64
+}
+
+// Snapshot finalizes leakage up to the current cycle and returns the
+// counters.
+func (m *Machine) Snapshot() Snapshot {
+	cyc := m.Timing.Cycles()
+	m.ML1D.Finalize(cyc)
+	m.ML2.Finalize(cyc)
+	snap := Snapshot{
+		Instr:  m.instructions,
+		Cycles: cyc,
+		L1DnJ:  m.ML1D.Totals().TotalNJ(),
+		L2nJ:   m.ML2.Totals().TotalNJ(),
+	}
+	if m.MIQ != nil {
+		m.MIQ.Finalize(cyc)
+		snap.IQnJ = m.MIQ.Totals().TotalNJ()
+	}
+	return snap
+}
+
+// Delta returns the change from an earlier snapshot to a later one.
+func Delta(start, end Snapshot) Snapshot {
+	return Snapshot{
+		Instr:  end.Instr - start.Instr,
+		Cycles: end.Cycles - start.Cycles,
+		L1DnJ:  end.L1DnJ - start.L1DnJ,
+		L2nJ:   end.L2nJ - start.L2nJ,
+		IQnJ:   end.IQnJ - start.IQnJ,
+	}
+}
+
+// IPC returns instructions per cycle for a snapshot delta.
+func (s Snapshot) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instr) / float64(s.Cycles)
+}

@@ -1,0 +1,144 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range []Model{L1Model("L1D"), L1Model("L1I"), L2Model()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if len(m.Sizes()) != 4 {
+			t.Errorf("%s: %d sizes, want 4", m.Name, len(m.Sizes()))
+		}
+	}
+}
+
+func TestModelSizesSorted(t *testing.T) {
+	sizes := L2Model().Sizes()
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			t.Fatalf("sizes not ascending: %v", sizes)
+		}
+	}
+}
+
+func TestModelValidateRejects(t *testing.T) {
+	bad := []Model{
+		{Name: "empty"},
+		{Name: "neg", AccessNJ: map[int]float64{8: -1}, LeakNJPerCycle: map[int]float64{8: 1}},
+		{Name: "missingleak", AccessNJ: map[int]float64{8: 1}, LeakNJPerCycle: map[int]float64{}},
+		{Name: "nonmono", AccessNJ: map[int]float64{8: 2, 16: 1}, LeakNJPerCycle: map[int]float64{8: 1, 16: 2}},
+		{Name: "negflush", AccessNJ: map[int]float64{8: 1}, LeakNJPerCycle: map[int]float64{8: 1}, FlushLineNJ: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %s should be invalid", m.Name)
+		}
+	}
+}
+
+func TestMeterAccessEnergy(t *testing.T) {
+	model := L1Model("L1D")
+	m := MustNewMeter(model, 64*1024)
+	m.Access()
+	m.AccessN(9)
+	m.Finalize(0)
+	got := m.Totals().DynamicNJ
+	want := 10 * model.AccessNJ[64*1024]
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("dynamic = %v, want %v", got, want)
+	}
+}
+
+func TestMeterLeakagePerEpoch(t *testing.T) {
+	model := L1Model("L1D")
+	m := MustNewMeter(model, 64*1024)
+	// 100 cycles at 64K, then 100 cycles at 8K.
+	if err := m.SetSize(8*1024, 100); err != nil {
+		t.Fatal(err)
+	}
+	m.Finalize(200)
+	want := 100*model.LeakNJPerCycle[64*1024] + 100*model.LeakNJPerCycle[8*1024]
+	if got := m.Totals().LeakageNJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("leakage = %v, want %v", got, want)
+	}
+}
+
+func TestMeterFinalizeIsIncremental(t *testing.T) {
+	model := L1Model("L1D")
+	m := MustNewMeter(model, 8*1024)
+	m.Finalize(50)
+	m.Finalize(100)
+	m.Finalize(100) // same cycle twice: no double charge
+	want := 100 * model.LeakNJPerCycle[8*1024]
+	if got := m.Totals().LeakageNJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("leakage = %v, want %v", got, want)
+	}
+}
+
+func TestMeterFlushEnergy(t *testing.T) {
+	model := L2Model()
+	m := MustNewMeter(model, 1024*1024)
+	m.FlushWritebacks(5)
+	if got := m.Totals().FlushNJ; math.Abs(got-5*model.FlushLineNJ) > 1e-9 {
+		t.Errorf("flush = %v", got)
+	}
+}
+
+func TestMeterRejectsUnmodelledSize(t *testing.T) {
+	if _, err := NewMeter(L1Model("L1D"), 12345); err == nil {
+		t.Error("unmodelled start size should fail")
+	}
+	m := MustNewMeter(L1Model("L1D"), 8*1024)
+	if err := m.SetSize(999, 10); err == nil {
+		t.Error("unmodelled SetSize should fail")
+	}
+}
+
+func TestMeterCurrentSize(t *testing.T) {
+	m := MustNewMeter(L1Model("L1D"), 16*1024)
+	if m.CurrentSize() != 16*1024 {
+		t.Errorf("CurrentSize = %d", m.CurrentSize())
+	}
+	if err := m.SetSize(32*1024, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.CurrentSize() != 32*1024 {
+		t.Errorf("CurrentSize after SetSize = %d", m.CurrentSize())
+	}
+}
+
+func TestTotalsSum(t *testing.T) {
+	tot := Totals{DynamicNJ: 1, LeakageNJ: 2, FlushNJ: 3}
+	if tot.TotalNJ() != 6 {
+		t.Errorf("TotalNJ = %v", tot.TotalNJ())
+	}
+}
+
+// Property: smaller configurations never cost more energy for the
+// same activity (monotonicity of the energy model).
+func TestSmallerSizeNeverCostsMoreProperty(t *testing.T) {
+	model := L1Model("L1D")
+	sizes := model.Sizes()
+	f := func(accesses uint16, cycles uint16) bool {
+		var prev float64 = -1
+		for _, sz := range sizes {
+			m := MustNewMeter(model, sz)
+			m.AccessN(uint64(accesses))
+			m.Finalize(uint64(cycles))
+			tot := m.Totals().TotalNJ()
+			if prev >= 0 && tot < prev {
+				return false
+			}
+			prev = tot
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

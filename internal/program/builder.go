@@ -1,0 +1,215 @@
+package program
+
+import (
+	"fmt"
+
+	"acedo/internal/isa"
+)
+
+// Builder assembles a Program incrementally. Typical use:
+//
+//	b := program.NewBuilder("demo")
+//	m := b.NewMethod("main")
+//	blk := m.NewBlock()
+//	blk.Const(1, 42)
+//	blk.Halt()
+//	b.SetEntry(m.ID())
+//	p, err := b.Build()
+//
+// The builder performs no validation itself; Build seals the program,
+// which validates everything at once.
+type Builder struct {
+	prog *Program
+}
+
+// NewBuilder creates a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &Program{Name: name}}
+}
+
+// SetMemWords declares the data memory size in words.
+func (b *Builder) SetMemWords(n int) { b.prog.MemWords = n }
+
+// SetEntry declares the entry method.
+func (b *Builder) SetEntry(id MethodID) { b.prog.Entry = id }
+
+// NumMethods returns the number of methods declared so far.
+func (b *Builder) NumMethods() int { return len(b.prog.Methods) }
+
+// NewMethod declares a new method and returns its builder.
+func (b *Builder) NewMethod(name string) *MethodBuilder {
+	m := &Method{ID: MethodID(len(b.prog.Methods)), Name: name}
+	b.prog.Methods = append(b.prog.Methods, m)
+	return &MethodBuilder{m: m}
+}
+
+// Build seals and returns the program. The builder must not be used
+// after Build.
+func (b *Builder) Build() (*Program, error) {
+	if err := b.prog.Seal(); err != nil {
+		return nil, fmt.Errorf("program build: %w", err)
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error, for generators whose
+// programs are constructed from checked parameters.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MethodBuilder assembles one method's blocks.
+type MethodBuilder struct {
+	m *Method
+}
+
+// ID returns the method's ID, usable as a call target immediately.
+func (mb *MethodBuilder) ID() MethodID { return mb.m.ID }
+
+// Name returns the method's name.
+func (mb *MethodBuilder) Name() string { return mb.m.Name }
+
+// NewBlock appends a new empty basic block and returns its builder.
+// Blocks execute in append order unless branched over.
+func (mb *MethodBuilder) NewBlock() *BlockBuilder {
+	blk := &Block{Index: len(mb.m.Blocks)}
+	mb.m.Blocks = append(mb.m.Blocks, blk)
+	return &BlockBuilder{b: blk}
+}
+
+// BlockBuilder appends instructions to one basic block. Each emit
+// method returns the builder for chaining.
+type BlockBuilder struct {
+	b *Block
+}
+
+// Index returns the block's index, usable as a branch target.
+func (bb *BlockBuilder) Index() int { return bb.b.Index }
+
+// Emit appends a raw instruction.
+func (bb *BlockBuilder) Emit(in isa.Instr) *BlockBuilder {
+	bb.b.Instrs = append(bb.b.Instrs, in)
+	return bb
+}
+
+// Len returns the number of instructions emitted so far.
+func (bb *BlockBuilder) Len() int { return len(bb.b.Instrs) }
+
+// Nop emits a no-op (useful for padding method size).
+func (bb *BlockBuilder) Nop() *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpNop})
+}
+
+// Const emits r[a] = imm.
+func (bb *BlockBuilder) Const(a uint8, imm int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpConst, A: a, Imm: imm})
+}
+
+// Add emits r[a] = r[x] + r[y].
+func (bb *BlockBuilder) Add(a, x, y uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpAdd, A: a, B: x, C: y})
+}
+
+// Sub emits r[a] = r[x] - r[y].
+func (bb *BlockBuilder) Sub(a, x, y uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpSub, A: a, B: x, C: y})
+}
+
+// Mul emits r[a] = r[x] * r[y].
+func (bb *BlockBuilder) Mul(a, x, y uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpMul, A: a, B: x, C: y})
+}
+
+// Xor emits r[a] = r[x] ^ r[y].
+func (bb *BlockBuilder) Xor(a, x, y uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpXor, A: a, B: x, C: y})
+}
+
+// AddI emits r[a] = r[x] + imm.
+func (bb *BlockBuilder) AddI(a, x uint8, imm int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpAddI, A: a, B: x, Imm: imm})
+}
+
+// MulI emits r[a] = r[x] * imm.
+func (bb *BlockBuilder) MulI(a, x uint8, imm int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpMulI, A: a, B: x, Imm: imm})
+}
+
+// AndI emits r[a] = r[x] & imm.
+func (bb *BlockBuilder) AndI(a, x uint8, imm int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpAndI, A: a, B: x, Imm: imm})
+}
+
+// XorI emits r[a] = r[x] ^ imm.
+func (bb *BlockBuilder) XorI(a, x uint8, imm int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpXorI, A: a, B: x, Imm: imm})
+}
+
+// ShrI emits r[a] = r[x] >> imm (logical).
+func (bb *BlockBuilder) ShrI(a, x uint8, imm int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpShrI, A: a, B: x, Imm: imm})
+}
+
+// ShlI emits r[a] = r[x] << imm.
+func (bb *BlockBuilder) ShlI(a, x uint8, imm int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpShlI, A: a, B: x, Imm: imm})
+}
+
+// CmpLt emits r[a] = (r[x] < r[y]).
+func (bb *BlockBuilder) CmpLt(a, x, y uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpCmpLt, A: a, B: x, C: y})
+}
+
+// CmpEq emits r[a] = (r[x] == r[y]).
+func (bb *BlockBuilder) CmpEq(a, x, y uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpCmpEq, A: a, B: x, C: y})
+}
+
+// Load emits r[a] = mem[r[base]+off].
+func (bb *BlockBuilder) Load(a, base uint8, off int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpLoad, A: a, B: base, Imm: off})
+}
+
+// Store emits mem[r[base]+off] = r[a].
+func (bb *BlockBuilder) Store(a, base uint8, off int64) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpStore, A: a, B: base, Imm: off})
+}
+
+// Br emits a branch to block target when r[a] != 0.
+func (bb *BlockBuilder) Br(a uint8, target int) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpBr, A: a, Imm: int64(target)})
+}
+
+// BrZ emits a branch to block target when r[a] == 0.
+func (bb *BlockBuilder) BrZ(a uint8, target int) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpBrZ, A: a, Imm: int64(target)})
+}
+
+// Jmp emits an unconditional branch to block target.
+func (bb *BlockBuilder) Jmp(target int) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpJmp, Imm: int64(target)})
+}
+
+// Call emits r[a] = call m(id). Arguments travel in r0..r3.
+func (bb *BlockBuilder) Call(a uint8, id MethodID) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpCall, A: a, Imm: int64(id)})
+}
+
+// CallR emits r[a] = call (r[x]): indirect call through a register.
+func (bb *BlockBuilder) CallR(a, x uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpCallR, A: a, B: x})
+}
+
+// Ret emits a return of r[a].
+func (bb *BlockBuilder) Ret(a uint8) *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpRet, A: a})
+}
+
+// Halt emits a machine halt.
+func (bb *BlockBuilder) Halt() *BlockBuilder {
+	return bb.Emit(isa.Instr{Op: isa.OpHalt})
+}

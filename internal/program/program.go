@@ -1,0 +1,186 @@
+// Package program represents executable programs for the simulated
+// machine: methods made of basic blocks, plus a builder API that the
+// workload generators use to assemble them and a validator that checks
+// structural well-formedness before execution.
+package program
+
+import (
+	"fmt"
+
+	"acedo/internal/isa"
+)
+
+// MethodID names a method within a program. IDs are dense, assigned in
+// creation order, and used directly as call targets.
+type MethodID int
+
+// Block is a basic block: a straight-line instruction sequence that is
+// entered only at its first instruction and left only at its last.
+type Block struct {
+	// Index is the block's position within its method; branch
+	// immediates name blocks by this index.
+	Index int
+	// Instrs is the instruction sequence. The last instruction of
+	// every block except the method's last must be a terminator or
+	// the block falls through.
+	Instrs []isa.Instr
+	// PC is the global address of the block's first instruction,
+	// assigned by Program.Seal. Instruction i of the block has
+	// address PC+i. Used by the branch predictor, the BBV
+	// accumulator and the I-cache.
+	PC uint64
+}
+
+// Method is a named, callable unit. Control enters at block 0 and
+// leaves via OpRet (or OpHalt in the entry method).
+type Method struct {
+	ID     MethodID
+	Name   string
+	Blocks []*Block
+
+	// StaticInstrs is the total instruction count across blocks,
+	// computed by Seal.
+	StaticInstrs int
+}
+
+// Block returns the block at index i.
+func (m *Method) Block(i int) *Block { return m.Blocks[i] }
+
+// Program is a sealed collection of methods plus an initial data
+// memory image. The method with ID Entry is where execution starts.
+type Program struct {
+	Name    string
+	Methods []*Method
+	Entry   MethodID
+
+	// MemWords is the size of the data memory in words. The memory
+	// image starts zeroed; generators that need initialized data
+	// emit initialization code (so initialization traffic is real).
+	MemWords int
+
+	// TotalStaticInstrs is the program-wide static instruction
+	// count, computed by Seal.
+	TotalStaticInstrs int
+
+	sealed bool
+}
+
+// Method returns the method with the given ID, or nil if out of range.
+func (p *Program) Method(id MethodID) *Method {
+	if int(id) < 0 || int(id) >= len(p.Methods) {
+		return nil
+	}
+	return p.Methods[id]
+}
+
+// NumMethods returns the number of methods in the program.
+func (p *Program) NumMethods() int { return len(p.Methods) }
+
+// Sealed reports whether Seal has completed on this program.
+func (p *Program) Sealed() bool { return p.sealed }
+
+// Seal assigns global PCs to every block, computes static instruction
+// counts, and validates the whole program. After Seal the program is
+// immutable and runnable. Seal is idempotent.
+func (p *Program) Seal() error {
+	if p.sealed {
+		return nil
+	}
+	var pc uint64
+	p.TotalStaticInstrs = 0
+	for _, m := range p.Methods {
+		m.StaticInstrs = 0
+		for _, b := range m.Blocks {
+			b.PC = pc
+			pc += uint64(len(b.Instrs))
+			m.StaticInstrs += len(b.Instrs)
+		}
+		p.TotalStaticInstrs += m.StaticInstrs
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	p.sealed = true
+	return nil
+}
+
+// validate checks structural well-formedness: every instruction valid,
+// every branch target in range, every call target a real method, every
+// block properly terminated, the entry method present, and memory
+// accesses plausibly bounded (dynamic bounds are enforced at runtime).
+func (p *Program) validate() error {
+	if len(p.Methods) == 0 {
+		return fmt.Errorf("program %q: no methods", p.Name)
+	}
+	if p.Method(p.Entry) == nil {
+		return fmt.Errorf("program %q: entry method %d out of range", p.Name, p.Entry)
+	}
+	if p.MemWords < 0 {
+		return fmt.Errorf("program %q: negative memory size %d", p.Name, p.MemWords)
+	}
+	for mi, m := range p.Methods {
+		if m.ID != MethodID(mi) {
+			return fmt.Errorf("program %q: method %q has ID %d at position %d", p.Name, m.Name, m.ID, mi)
+		}
+		if err := p.validateMethod(m); err != nil {
+			return fmt.Errorf("program %q: method %q: %w", p.Name, m.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateMethod(m *Method) error {
+	if len(m.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	for bi, b := range m.Blocks {
+		if b.Index != bi {
+			return fmt.Errorf("block at position %d has index %d", bi, b.Index)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %d: empty", bi)
+		}
+		for ii, in := range b.Instrs {
+			if err := in.Validate(); err != nil {
+				return fmt.Errorf("block %d instr %d: %w", bi, ii, err)
+			}
+			if in.Op.IsTerminator() && ii != len(b.Instrs)-1 {
+				return fmt.Errorf("block %d instr %d: terminator %s not at block end", bi, ii, in.Op)
+			}
+			switch in.Op {
+			case isa.OpBr, isa.OpBrZ, isa.OpJmp:
+				if int(in.Imm) >= len(m.Blocks) {
+					return fmt.Errorf("block %d instr %d: branch target @%d out of range (%d blocks)",
+						bi, ii, in.Imm, len(m.Blocks))
+				}
+			case isa.OpCall:
+				if p.Method(MethodID(in.Imm)) == nil {
+					return fmt.Errorf("block %d instr %d: call target m%d does not exist", bi, ii, in.Imm)
+				}
+			case isa.OpHalt:
+				if m.ID != p.Entry {
+					return fmt.Errorf("block %d instr %d: halt outside entry method", bi, ii)
+				}
+			}
+		}
+		last := b.Instrs[len(b.Instrs)-1].Op
+		fallsThrough := !last.IsTerminator() || last.IsConditional()
+		if fallsThrough && bi == len(m.Blocks)-1 {
+			return fmt.Errorf("block %d: falls off the end of the method", bi)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the method as text, one instruction per line,
+// for debugging and golden tests.
+func (m *Method) Disassemble() string {
+	s := fmt.Sprintf("method m%d %q:\n", m.ID, m.Name)
+	for _, b := range m.Blocks {
+		s += fmt.Sprintf("  @%d:\n", b.Index)
+		for i, in := range b.Instrs {
+			s += fmt.Sprintf("    %4d  %s\n", b.PC+uint64(i), in)
+		}
+	}
+	return s
+}

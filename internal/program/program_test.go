@@ -1,0 +1,233 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"acedo/internal/isa"
+)
+
+// buildMinimal returns a builder holding one valid main method.
+func buildMinimal() *Builder {
+	b := NewBuilder("t")
+	m := b.NewMethod("main")
+	m.NewBlock().Const(0, 1).Halt()
+	b.SetEntry(m.ID())
+	return b
+}
+
+func TestBuildMinimal(t *testing.T) {
+	p, err := buildMinimal().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !p.Sealed() {
+		t.Error("program not sealed after Build")
+	}
+	if p.NumMethods() != 1 {
+		t.Errorf("NumMethods = %d, want 1", p.NumMethods())
+	}
+	if p.TotalStaticInstrs != 2 {
+		t.Errorf("TotalStaticInstrs = %d, want 2", p.TotalStaticInstrs)
+	}
+}
+
+func TestSealAssignsGlobalPCs(t *testing.T) {
+	b := NewBuilder("t")
+	m1 := b.NewMethod("main")
+	m1.NewBlock().Nop().Nop().Halt()
+	m2 := b.NewMethod("f")
+	m2.NewBlock().Const(0, 1).Ret(0)
+	b.SetEntry(m1.ID())
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := p.Methods[0].Blocks[0].PC; got != 0 {
+		t.Errorf("first block PC = %d, want 0", got)
+	}
+	if got := p.Methods[1].Blocks[0].PC; got != 3 {
+		t.Errorf("second method PC = %d, want 3", got)
+	}
+	if p.Methods[1].StaticInstrs != 2 {
+		t.Errorf("method static instrs = %d, want 2", p.Methods[1].StaticInstrs)
+	}
+}
+
+func TestSealIdempotent(t *testing.T) {
+	p, err := buildMinimal().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := p.Seal(); err != nil {
+		t.Errorf("second Seal: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+		want  string
+	}{
+		{"no methods", func() *Builder { return NewBuilder("t") }, "no methods"},
+		{"empty block", func() *Builder {
+			b := NewBuilder("t")
+			m := b.NewMethod("main")
+			m.NewBlock()
+			b.SetEntry(m.ID())
+			return b
+		}, "empty"},
+		{"no blocks", func() *Builder {
+			b := NewBuilder("t")
+			m := b.NewMethod("main")
+			b.SetEntry(m.ID())
+			return b
+		}, "no blocks"},
+		{"branch out of range", func() *Builder {
+			b := NewBuilder("t")
+			m := b.NewMethod("main")
+			m.NewBlock().Jmp(5)
+			b.SetEntry(m.ID())
+			return b
+		}, "out of range"},
+		{"call to missing method", func() *Builder {
+			b := NewBuilder("t")
+			m := b.NewMethod("main")
+			m.NewBlock().Call(0, 9).Halt()
+			b.SetEntry(m.ID())
+			return b
+		}, "does not exist"},
+		{"fallthrough off method end", func() *Builder {
+			b := NewBuilder("t")
+			m := b.NewMethod("main")
+			m.NewBlock().Nop()
+			b.SetEntry(m.ID())
+			return b
+		}, "falls off"},
+		{"terminator mid-block", func() *Builder {
+			b := NewBuilder("t")
+			m := b.NewMethod("main")
+			m.NewBlock().Halt().Nop()
+			b.SetEntry(m.ID())
+			return b
+		}, "not at block end"},
+		{"halt outside entry", func() *Builder {
+			b := NewBuilder("t")
+			m := b.NewMethod("main")
+			m.NewBlock().Halt()
+			f := b.NewMethod("f")
+			f.NewBlock().Halt()
+			b.SetEntry(m.ID())
+			return b
+		}, "halt outside entry"},
+		{"negative memory", func() *Builder {
+			b := buildMinimal()
+			b.SetMemWords(-1)
+			return b
+		}, "negative memory"},
+		{"bad entry", func() *Builder {
+			b := buildMinimal()
+			b.SetEntry(42)
+			return b
+		}, "entry method"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.build().Build()
+			if err == nil {
+				t.Fatal("Build succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestConditionalBranchMayEndNonFinalBlock(t *testing.T) {
+	b := NewBuilder("t")
+	m := b.NewMethod("main")
+	blk := m.NewBlock()
+	blk.Const(1, 0).Br(1, 0) // falls through when r1 == 0
+	m.NewBlock().Halt()
+	b.SetEntry(m.ID())
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}
+
+func TestConditionalBranchInFinalBlockRejected(t *testing.T) {
+	b := NewBuilder("t")
+	m := b.NewMethod("main")
+	m.NewBlock().Br(1, 0)
+	b.SetEntry(m.ID())
+	if _, err := b.Build(); err == nil {
+		t.Fatal("conditional branch ending the last block must be rejected (fallthrough)")
+	}
+}
+
+func TestMethodLookup(t *testing.T) {
+	p, err := buildMinimal().Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Method(0) == nil {
+		t.Error("Method(0) = nil")
+	}
+	if p.Method(-1) != nil || p.Method(1) != nil {
+		t.Error("out-of-range Method lookup should return nil")
+	}
+}
+
+func TestDisassembleContainsMnemonics(t *testing.T) {
+	b := NewBuilder("t")
+	m := b.NewMethod("main")
+	m.NewBlock().Const(3, 42).Load(1, 3, 0).Halt()
+	b.SetEntry(m.ID())
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dis := p.Methods[0].Disassemble()
+	for _, want := range []string{"const r3, 42", "load r1, [r3+0]", "halt"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestBuilderEmitHelpersProduceValidOps(t *testing.T) {
+	b := NewBuilder("t")
+	callee := b.NewMethod("callee")
+	callee.NewBlock().Ret(0)
+	m := b.NewMethod("main")
+	blk := m.NewBlock()
+	blk.Const(1, 7).Add(2, 1, 1).Sub(3, 2, 1).Mul(4, 2, 3).Xor(5, 4, 1).
+		AddI(6, 5, 1).MulI(7, 6, 2).AndI(8, 7, 0xff).XorI(9, 8, 1).
+		ShrI(10, 9, 1).ShlI(11, 10, 2).CmpLt(12, 1, 2).CmpEq(13, 1, 1).
+		Load(14, 1, 0).Store(14, 1, 0).Call(15, callee.ID()).Nop().Halt()
+	b.SetEntry(m.ID())
+	b.SetMemWords(64)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Methods[1].StaticInstrs != 18 {
+		t.Errorf("static instrs = %d, want 18", p.Methods[1].StaticInstrs)
+	}
+	// Spot-check one encoded instruction.
+	in := p.Methods[1].Blocks[0].Instrs[13]
+	if in.Op != isa.OpLoad || in.A != 14 || in.B != 1 {
+		t.Errorf("unexpected encoding: %s", in)
+	}
+}
+
+func TestMustBuildPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid program")
+		}
+	}()
+	NewBuilder("t").MustBuild()
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 || w.Std() != 0 || w.CoV() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), 5) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if !almostEq(w.Variance(), 4) {
+		t.Errorf("Variance = %v, want 4 (population)", w.Variance())
+	}
+	if !almostEq(w.Std(), 2) {
+		t.Errorf("Std = %v, want 2", w.Std())
+	}
+	if !almostEq(w.CoV(), 0.4) {
+		t.Errorf("CoV = %v, want 0.4", w.CoV())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(3)
+	if w.Variance() != 0 {
+		t.Error("variance of one observation should be 0")
+	}
+	if w.Mean() != 3 {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+}
+
+func TestWelfordNegativeMeanCoV(t *testing.T) {
+	var w Welford
+	w.Add(-2)
+	w.Add(-4)
+	if w.CoV() < 0 {
+		t.Error("CoV should use |mean|")
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.Float64()*100 - 50
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, x := range xs {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(n)
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndCoVSlices(t *testing.T) {
+	if Mean(nil) != 0 || CoV(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean wrong")
+	}
+	if CoV([]float64{5, 5, 5}) != 0 {
+		t.Error("constant slice CoV should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator should be 0")
+	}
+	if !almostEq(Ratio(3, 4), 0.75) {
+		t.Error("Ratio wrong")
+	}
+}
+
+// Property: CoV is scale-invariant for positive scalings.
+func TestCoVScaleInvariantProperty(t *testing.T) {
+	f := func(seed int64, scale float64) bool {
+		scale = math.Abs(scale)
+		if scale < 1e-6 || scale > 1e6 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		var a, b Welford
+		for i := 0; i < n; i++ {
+			x := 1 + rng.Float64()*10
+			a.Add(x)
+			b.Add(x * scale)
+		}
+		return math.Abs(a.CoV()-b.CoV()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

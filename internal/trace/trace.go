@@ -1,0 +1,130 @@
+// Package trace records the adaptation timeline of a run — every
+// accepted reconfiguration and every hotspot promotion — and renders
+// it as an ASCII chart, making the framework's multi-grain behaviour
+// (paper Section 3.6) visible: the L1D switching at fine grain inside
+// phases, the L2 at coarse grain across them.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Kind labels a timeline event.
+type Kind uint8
+
+const (
+	// KindReconfig is an accepted configuration change.
+	KindReconfig Kind = iota
+	// KindPromotion is a hotspot promotion.
+	KindPromotion
+)
+
+// Event is one timeline entry.
+type Event struct {
+	Kind    Kind
+	Instr   uint64
+	Unit    string // reconfigurations: the unit name
+	Setting int    // reconfigurations: the new setting value
+	Label   string // promotions: the method name
+}
+
+// Recorder accumulates events. The zero value is ready to use.
+type Recorder struct {
+	events []Event
+}
+
+// Reconfig records an accepted configuration change. Install it via
+// machine.Machine.OnReconfigure:
+//
+//	mach.OnReconfigure = rec.Reconfig
+func (r *Recorder) Reconfig(unit string, setting int, instr uint64) {
+	r.events = append(r.events, Event{Kind: KindReconfig, Instr: instr, Unit: unit, Setting: setting})
+}
+
+// Promotion records a hotspot promotion at the given instruction.
+func (r *Recorder) Promotion(name string, instr uint64) {
+	r.events = append(r.events, Event{Kind: KindPromotion, Instr: instr, Label: name})
+}
+
+// Events returns the recorded events in arrival order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Timeline renders the recording as one row per unit: the run is
+// divided into `columns` equal slices of `totalInstr` instructions and
+// each cell shows the setting active at the end of its slice (as the
+// setting's index within the unit's observed settings: 0 = smallest
+// seen). A '·' marks slices before the unit's first change.
+func (r *Recorder) Timeline(w io.Writer, totalInstr uint64, columns int) {
+	if columns <= 0 || totalInstr == 0 {
+		fmt.Fprintln(w, "trace: empty timeline")
+		return
+	}
+
+	// Per-unit events, in instruction order.
+	perUnit := map[string][]Event{}
+	var units []string
+	settingsSeen := map[string]map[int]bool{}
+	for _, e := range r.events {
+		if e.Kind != KindReconfig {
+			continue
+		}
+		if _, ok := perUnit[e.Unit]; !ok {
+			units = append(units, e.Unit)
+			settingsSeen[e.Unit] = map[int]bool{}
+		}
+		perUnit[e.Unit] = append(perUnit[e.Unit], e)
+		settingsSeen[e.Unit][e.Setting] = true
+	}
+	sort.Strings(units)
+
+	fmt.Fprintf(w, "adaptation timeline (%d columns × %d instructions each; digit = setting rank, 0 smallest)\n",
+		columns, totalInstr/uint64(columns))
+	for _, u := range units {
+		ranks := settingRanks(settingsSeen[u])
+		evs := perUnit[u]
+		row := make([]byte, columns)
+		idx := 0
+		current := -1
+		for c := 0; c < columns; c++ {
+			sliceEnd := totalInstr * uint64(c+1) / uint64(columns)
+			for idx < len(evs) && evs[idx].Instr <= sliceEnd {
+				current = evs[idx].Setting
+				idx++
+			}
+			if current < 0 {
+				row[c] = '.'
+			} else {
+				row[c] = byte('0' + ranks[current])
+			}
+		}
+		fmt.Fprintf(w, "%-4s |%s| %d reconfigurations\n", u, row, len(evs))
+	}
+
+	var promos int
+	for _, e := range r.events {
+		if e.Kind == KindPromotion {
+			promos++
+		}
+	}
+	fmt.Fprintf(w, "%d hotspot promotions, %d reconfigurations total\n",
+		promos, r.Len()-promos)
+}
+
+// settingRanks maps each observed setting value to its ascending rank.
+func settingRanks(seen map[int]bool) map[int]int {
+	vals := make([]int, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	ranks := make(map[int]int, len(vals))
+	for i, v := range vals {
+		ranks[v] = i
+	}
+	return ranks
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderAccumulates(t *testing.T) {
+	var r Recorder
+	r.Reconfig("L1D", 8192, 100)
+	r.Promotion("hot", 150)
+	r.Reconfig("L2", 131072, 200)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != KindReconfig || evs[0].Unit != "L1D" || evs[0].Setting != 8192 {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != KindPromotion || evs[1].Label != "hot" {
+		t.Errorf("event 1 = %+v", evs[1])
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	var r Recorder
+	// L1D: 64K until instr 500, then 8K.
+	r.Reconfig("L1D", 65536, 100)
+	r.Reconfig("L1D", 8192, 500)
+	r.Promotion("hot", 50)
+
+	var sb strings.Builder
+	r.Timeline(&sb, 1000, 10)
+	out := sb.String()
+	if !strings.Contains(out, "L1D  |") {
+		t.Fatalf("missing unit row:\n%s", out)
+	}
+	// First half at rank 1 (65536), second half at rank 0 (8192).
+	if !strings.Contains(out, "1111000000") {
+		t.Errorf("unexpected timeline row:\n%s", out)
+	}
+	if !strings.Contains(out, "2 reconfigurations") {
+		t.Errorf("missing reconfiguration count:\n%s", out)
+	}
+	if !strings.Contains(out, "1 hotspot promotions") {
+		t.Errorf("missing promotion count:\n%s", out)
+	}
+}
+
+func TestTimelineBeforeFirstChange(t *testing.T) {
+	var r Recorder
+	r.Reconfig("L2", 131072, 900)
+	var sb strings.Builder
+	r.Timeline(&sb, 1000, 10)
+	if !strings.Contains(sb.String(), "........00") {
+		t.Errorf("slices before the first change should be dots:\n%s", sb.String())
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var r Recorder
+	var sb strings.Builder
+	r.Timeline(&sb, 0, 10)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Error("zero-length run should render as empty")
+	}
+}
+
+func TestSettingRanks(t *testing.T) {
+	ranks := settingRanks(map[int]bool{64: true, 8: true, 32: true})
+	if ranks[8] != 0 || ranks[32] != 1 || ranks[64] != 2 {
+		t.Errorf("ranks = %v", ranks)
+	}
+}

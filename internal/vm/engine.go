@@ -1,0 +1,305 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"acedo/internal/isa"
+	"acedo/internal/machine"
+	"acedo/internal/program"
+)
+
+// ErrBudget is returned by Run when the instruction budget is
+// exhausted before the program halts.
+var ErrBudget = errors.New("vm: instruction budget exhausted")
+
+type frame struct {
+	m          *program.Method
+	block      *program.Block
+	idx        int
+	entryInstr uint64
+	retReg     uint8
+	regs       [isa.NumRegs]int64
+}
+
+// Engine interprets a sealed program on a machine, firing method
+// boundary events into the AOS. It is the execution service of the
+// dynamic optimization system.
+type Engine struct {
+	prog *program.Program
+	mach *machine.Machine
+	aos  *AOS
+
+	mem    []int64
+	frames []frame
+	depth  int
+	halted bool
+
+	// blockListener, when set, observes every basic-block entry
+	// (the feed for the BBV accumulator hardware).
+	blockListener func(pc uint64, instrs int)
+}
+
+// SetBlockListener installs a basic-block entry observer. Pass nil to
+// remove it. The listener models profiling hardware, so it must not
+// re-enter the engine.
+func (e *Engine) SetBlockListener(fn func(pc uint64, instrs int)) {
+	e.blockListener = fn
+}
+
+// NewEngine constructs an engine. The program must be sealed.
+func NewEngine(prog *program.Program, mach *machine.Machine, aos *AOS) (*Engine, error) {
+	if !prog.Sealed() {
+		return nil, fmt.Errorf("vm: program %q not sealed", prog.Name)
+	}
+	if aos == nil {
+		return nil, fmt.Errorf("vm: nil AOS")
+	}
+	e := &Engine{
+		prog:   prog,
+		mach:   mach,
+		aos:    aos,
+		mem:    make([]int64, prog.MemWords),
+		frames: make([]frame, aos.params.MaxCallDepth),
+	}
+	e.push(prog.Entry, 0)
+	return e, nil
+}
+
+// Halted reports whether the program executed OpHalt.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Mem returns the data memory image (for tests asserting computation
+// results).
+func (e *Engine) Mem() []int64 { return e.mem }
+
+// Depth returns the current call depth.
+func (e *Engine) Depth() int { return e.depth }
+
+func (e *Engine) push(id program.MethodID, retReg uint8) {
+	f := &e.frames[e.depth]
+	e.depth++
+	f.m = e.prog.Method(id)
+	f.retReg = retReg
+	f.entryInstr = e.mach.Instructions()
+	f.idx = 0
+	f.block = f.m.Blocks[0]
+	e.mach.Fetch(f.block.PC)
+	if e.blockListener != nil {
+		e.blockListener(f.block.PC, len(f.block.Instrs))
+	}
+	e.aos.methodEnter(id)
+}
+
+func (e *Engine) enterBlock(f *frame, idx int) {
+	f.block = f.m.Blocks[idx]
+	f.idx = 0
+	e.mach.Fetch(f.block.PC)
+	if e.blockListener != nil {
+		e.blockListener(f.block.PC, len(f.block.Instrs))
+	}
+}
+
+// Run interprets up to maxInstr retired instructions (0 means no
+// budget). It returns nil when the program halts, ErrBudget when the
+// budget expires first, and a descriptive error for runtime faults
+// (out-of-range memory access, bad indirect call, stack overflow).
+func (e *Engine) Run(maxInstr uint64) error {
+	if e.halted {
+		return nil
+	}
+	start := e.mach.Instructions()
+	for {
+		if maxInstr > 0 && e.mach.Instructions()-start >= maxInstr {
+			return ErrBudget
+		}
+		f := &e.frames[e.depth-1]
+		if f.idx >= len(f.block.Instrs) {
+			// Fall through to the next block (the validator
+			// guarantees one exists).
+			e.enterBlock(f, f.block.Index+1)
+			continue
+		}
+		in := f.block.Instrs[f.idx]
+		e.mach.Issue(1)
+		if e.aos.sampleDue(e.mach.Instructions()) {
+			for i := 0; i < e.depth; i++ {
+				e.aos.creditSample(e.frames[i].m.ID)
+			}
+		}
+
+		switch in.Op {
+		case isa.OpNop:
+			f.idx++
+		case isa.OpConst:
+			f.regs[in.A] = in.Imm
+			f.idx++
+		case isa.OpAdd:
+			f.regs[in.A] = f.regs[in.B] + f.regs[in.C]
+			f.idx++
+		case isa.OpSub:
+			f.regs[in.A] = f.regs[in.B] - f.regs[in.C]
+			f.idx++
+		case isa.OpMul:
+			f.regs[in.A] = f.regs[in.B] * f.regs[in.C]
+			f.idx++
+		case isa.OpDiv:
+			if d := f.regs[in.C]; d != 0 {
+				f.regs[in.A] = f.regs[in.B] / d
+			} else {
+				f.regs[in.A] = 0
+			}
+			f.idx++
+		case isa.OpRem:
+			if d := f.regs[in.C]; d != 0 {
+				f.regs[in.A] = f.regs[in.B] % d
+			} else {
+				f.regs[in.A] = 0
+			}
+			f.idx++
+		case isa.OpAnd:
+			f.regs[in.A] = f.regs[in.B] & f.regs[in.C]
+			f.idx++
+		case isa.OpOr:
+			f.regs[in.A] = f.regs[in.B] | f.regs[in.C]
+			f.idx++
+		case isa.OpXor:
+			f.regs[in.A] = f.regs[in.B] ^ f.regs[in.C]
+			f.idx++
+		case isa.OpShl:
+			f.regs[in.A] = f.regs[in.B] << (uint64(f.regs[in.C]) & 63)
+			f.idx++
+		case isa.OpShr:
+			f.regs[in.A] = int64(uint64(f.regs[in.B]) >> (uint64(f.regs[in.C]) & 63))
+			f.idx++
+		case isa.OpAddI:
+			f.regs[in.A] = f.regs[in.B] + in.Imm
+			f.idx++
+		case isa.OpMulI:
+			f.regs[in.A] = f.regs[in.B] * in.Imm
+			f.idx++
+		case isa.OpAndI:
+			f.regs[in.A] = f.regs[in.B] & in.Imm
+			f.idx++
+		case isa.OpXorI:
+			f.regs[in.A] = f.regs[in.B] ^ in.Imm
+			f.idx++
+		case isa.OpShlI:
+			f.regs[in.A] = f.regs[in.B] << (uint64(in.Imm) & 63)
+			f.idx++
+		case isa.OpShrI:
+			f.regs[in.A] = int64(uint64(f.regs[in.B]) >> (uint64(in.Imm) & 63))
+			f.idx++
+		case isa.OpCmpLt:
+			f.regs[in.A] = boolReg(f.regs[in.B] < f.regs[in.C])
+			f.idx++
+		case isa.OpCmpEq:
+			f.regs[in.A] = boolReg(f.regs[in.B] == f.regs[in.C])
+			f.idx++
+
+		case isa.OpLoad:
+			addr := f.regs[in.B] + in.Imm
+			if addr < 0 || addr >= int64(len(e.mem)) {
+				return e.fault(f, in, fmt.Sprintf("load address %d out of range [0,%d)", addr, len(e.mem)))
+			}
+			e.mach.Data(uint64(addr), false)
+			f.regs[in.A] = e.mem[addr]
+			f.idx++
+		case isa.OpStore:
+			addr := f.regs[in.B] + in.Imm
+			if addr < 0 || addr >= int64(len(e.mem)) {
+				return e.fault(f, in, fmt.Sprintf("store address %d out of range [0,%d)", addr, len(e.mem)))
+			}
+			e.mach.Data(uint64(addr), true)
+			e.mem[addr] = f.regs[in.A]
+			f.idx++
+
+		case isa.OpBr:
+			taken := f.regs[in.A] != 0
+			e.mach.CondBranch(f.block.PC+uint64(f.idx), taken)
+			if taken {
+				e.enterBlock(f, int(in.Imm))
+			} else {
+				f.idx++
+			}
+		case isa.OpBrZ:
+			taken := f.regs[in.A] == 0
+			e.mach.CondBranch(f.block.PC+uint64(f.idx), taken)
+			if taken {
+				e.enterBlock(f, int(in.Imm))
+			} else {
+				f.idx++
+			}
+		case isa.OpJmp:
+			e.enterBlock(f, int(in.Imm))
+
+		case isa.OpCall:
+			if e.depth >= len(e.frames) {
+				return e.fault(f, in, "call stack overflow")
+			}
+			f.idx++ // return address
+			callee := program.MethodID(in.Imm)
+			args := [4]int64{f.regs[0], f.regs[1], f.regs[2], f.regs[3]}
+			e.push(callee, in.A)
+			nf := &e.frames[e.depth-1]
+			nf.regs[0], nf.regs[1], nf.regs[2], nf.regs[3] = args[0], args[1], args[2], args[3]
+		case isa.OpCallR:
+			target := f.regs[in.B]
+			if target < 0 || int(target) >= e.prog.NumMethods() {
+				return e.fault(f, in, fmt.Sprintf("indirect call to m%d out of range (%d methods)", target, e.prog.NumMethods()))
+			}
+			if e.depth >= len(e.frames) {
+				return e.fault(f, in, "call stack overflow")
+			}
+			f.idx++
+			args := [4]int64{f.regs[0], f.regs[1], f.regs[2], f.regs[3]}
+			e.push(program.MethodID(target), in.A)
+			nf := &e.frames[e.depth-1]
+			nf.regs[0], nf.regs[1], nf.regs[2], nf.regs[3] = args[0], args[1], args[2], args[3]
+
+		case isa.OpRet:
+			val := f.regs[in.A]
+			e.aos.methodExit(f.m.ID, e.mach.Instructions()-f.entryInstr)
+			e.depth--
+			if e.depth == 0 {
+				// Returning from the entry method ends the
+				// program like a halt.
+				e.halted = true
+				return nil
+			}
+			caller := &e.frames[e.depth-1]
+			caller.regs[f.retReg] = val
+
+		case isa.OpHalt:
+			e.unwindOnHalt()
+			e.halted = true
+			return nil
+
+		default:
+			return e.fault(f, in, "unimplemented opcode")
+		}
+	}
+}
+
+// unwindOnHalt fires exit events for all in-flight frames so the DO
+// database and any boundary hooks see balanced enters/exits.
+func (e *Engine) unwindOnHalt() {
+	now := e.mach.Instructions()
+	for e.depth > 0 {
+		f := &e.frames[e.depth-1]
+		e.aos.methodExit(f.m.ID, now-f.entryInstr)
+		e.depth--
+	}
+}
+
+func (e *Engine) fault(f *frame, in isa.Instr, msg string) error {
+	return fmt.Errorf("vm: fault in %q (m%d) block @%d instr %d [%s]: %s",
+		f.m.Name, f.m.ID, f.block.Index, f.idx, in, msg)
+}
+
+func boolReg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package vm
+
+// Native fuzz targets. `go test` runs the seed corpus as ordinary
+// tests; `go test -fuzz=FuzzEngineVsReference ./internal/vm` explores
+// further.
+
+import (
+	"math/rand"
+	"testing"
+
+	"acedo/internal/machine"
+)
+
+// FuzzEngineVsReference drives the random-program differential test
+// (see reference_test.go) from fuzzer-chosen seeds.
+func FuzzEngineVsReference(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genProgramInner(rng, newFuzzBuilder(), 1<<12)
+
+		ref := &refMachine{prog: prog}
+		want := ref.run(t)
+
+		mach, err := machine.New(machine.PaperConfig(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		aos := NewAOS(testParams(), mach, prog)
+		eng, err := NewEngine(prog, mach, aos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(0); err != nil {
+			t.Fatalf("engine fault on valid program: %v", err)
+		}
+		got := eng.Mem()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mem[%d] = %d, reference %d", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// FuzzEngineUnderManagement runs random programs under the full
+// hotspot framework: whatever the tuner does, execution results must
+// be identical to the unmanaged run (adaptation must never change
+// program semantics).
+func FuzzEngineUnderManagement(f *testing.F) {
+	for _, seed := range []int64{3, 17, 256} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		run := func(managed bool) []int64 {
+			rng := rand.New(rand.NewSource(seed))
+			prog := genProgramInner(rng, newFuzzBuilder(), 1<<12)
+			mach, err := machine.New(machine.PaperConfig(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := testParams()
+			aos := NewAOS(params, mach, prog)
+			if managed {
+				// Minimal stand-in for the manager: hooks
+				// with overhead on every promotion, plus
+				// actual unit requests.
+				aos.OnPromote = func(p *MethodProfile) {
+					aos.SetHooks(p.ID, &Hooks{
+						Entry: func(*MethodProfile) {
+							mach.L1DUnit.Request(0, mach.Instructions())
+						},
+						Exit: func(*MethodProfile, uint64) {
+							mach.L1DUnit.Request(3, mach.Instructions())
+						},
+						EntryOverhead: 24,
+						ExitOverhead:  12,
+					})
+				}
+			}
+			eng, err := NewEngine(prog, mach, aos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Run(0); err != nil {
+				t.Fatalf("engine fault: %v", err)
+			}
+			out := make([]int64, len(eng.Mem()))
+			copy(out, eng.Mem())
+			return out
+		}
+		plain := run(false)
+		managed := run(true)
+		for i := range plain {
+			if plain[i] != managed[i] {
+				t.Fatalf("mem[%d]: unmanaged %d, managed %d — adaptation changed semantics",
+					i, plain[i], managed[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+// Package vm implements the dynamic optimization system: an
+// interpreter engine for the simulated ISA plus a Jikes-RVM-style
+// adaptive optimization system (AOS) with a timer-sampling profiler,
+// per-method invocation counters, a DO database, hotspot promotion,
+// and JIT hook insertion at hotspot boundaries (the paper's tuning /
+// profiling / configuration / sampling code).
+package vm
+
+// Params configures the adaptive optimization system.
+type Params struct {
+	// SampleInterval is the sampling profiler period in
+	// instructions (Jikes samples the active method roughly every
+	// 10 ms; at IPC≈1 on the 1 GHz core that is ~10 M instructions,
+	// scaled per DESIGN.md §4).
+	SampleInterval uint64
+
+	// HotThreshold is the invocation count after which a sampled
+	// method becomes a hotspot (paper Table 1: "hotspot invoked
+	// hot_threshold times").
+	HotThreshold uint64
+
+	// MinSamples is the minimum number of profiler samples before a
+	// method is eligible for promotion, filtering methods that are
+	// invoked often but contribute negligible execution time.
+	MinSamples uint64
+
+	// MaxCallDepth bounds the frame stack.
+	MaxCallDepth int
+}
+
+// DefaultParams returns the scaled default parameters (scale divisor
+// 10 relative to the paper; see DESIGN.md §4).
+func DefaultParams() Params {
+	return Params{
+		SampleInterval: 10_000,
+		HotThreshold:   20,
+		MinSamples:     2,
+		MaxCallDepth:   1024,
+	}
+}
+
+// PaperParams returns the paper-scale parameters.
+func PaperParams() Params {
+	p := DefaultParams()
+	p.SampleInterval = 100_000
+	return p
+}

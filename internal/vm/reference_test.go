@@ -1,0 +1,297 @@
+package vm
+
+// A differential test of the interpreter: a second, deliberately
+// simple reference implementation of the ISA semantics executes
+// randomly generated (but guaranteed-terminating, guaranteed-valid)
+// programs, and the engine's final memory image must match exactly.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acedo/internal/isa"
+	"acedo/internal/machine"
+	"acedo/internal/program"
+)
+
+// refRun interprets the program recursively with no hardware model.
+// It returns the final memory image.
+type refMachine struct {
+	prog  *program.Program
+	mem   []int64
+	steps int
+}
+
+func (r *refMachine) run(t *testing.T) []int64 {
+	r.mem = make([]int64, r.prog.MemWords)
+	var regs [isa.NumRegs]int64
+	r.call(t, r.prog.Entry, &regs)
+	return r.mem
+}
+
+// call executes one method invocation; args/results via the caller's
+// register file per the calling convention.
+func (r *refMachine) call(t *testing.T, id program.MethodID, caller *[isa.NumRegs]int64) int64 {
+	var regs [isa.NumRegs]int64
+	regs[0], regs[1], regs[2], regs[3] = caller[0], caller[1], caller[2], caller[3]
+	m := r.prog.Method(id)
+	bi, ii := 0, 0
+	for {
+		r.steps++
+		if r.steps > 50_000_000 {
+			t.Fatal("reference interpreter ran away: generated program not terminating")
+		}
+		blk := m.Blocks[bi]
+		if ii >= len(blk.Instrs) {
+			bi, ii = bi+1, 0
+			continue
+		}
+		in := blk.Instrs[ii]
+		switch in.Op {
+		case isa.OpNop:
+			ii++
+		case isa.OpConst:
+			regs[in.A] = in.Imm
+			ii++
+		case isa.OpAdd:
+			regs[in.A] = regs[in.B] + regs[in.C]
+			ii++
+		case isa.OpSub:
+			regs[in.A] = regs[in.B] - regs[in.C]
+			ii++
+		case isa.OpMul:
+			regs[in.A] = regs[in.B] * regs[in.C]
+			ii++
+		case isa.OpDiv:
+			if regs[in.C] != 0 {
+				regs[in.A] = regs[in.B] / regs[in.C]
+			} else {
+				regs[in.A] = 0
+			}
+			ii++
+		case isa.OpRem:
+			if regs[in.C] != 0 {
+				regs[in.A] = regs[in.B] % regs[in.C]
+			} else {
+				regs[in.A] = 0
+			}
+			ii++
+		case isa.OpAnd:
+			regs[in.A] = regs[in.B] & regs[in.C]
+			ii++
+		case isa.OpOr:
+			regs[in.A] = regs[in.B] | regs[in.C]
+			ii++
+		case isa.OpXor:
+			regs[in.A] = regs[in.B] ^ regs[in.C]
+			ii++
+		case isa.OpShl:
+			regs[in.A] = regs[in.B] << (uint64(regs[in.C]) & 63)
+			ii++
+		case isa.OpShr:
+			regs[in.A] = int64(uint64(regs[in.B]) >> (uint64(regs[in.C]) & 63))
+			ii++
+		case isa.OpAddI:
+			regs[in.A] = regs[in.B] + in.Imm
+			ii++
+		case isa.OpMulI:
+			regs[in.A] = regs[in.B] * in.Imm
+			ii++
+		case isa.OpAndI:
+			regs[in.A] = regs[in.B] & in.Imm
+			ii++
+		case isa.OpXorI:
+			regs[in.A] = regs[in.B] ^ in.Imm
+			ii++
+		case isa.OpShlI:
+			regs[in.A] = regs[in.B] << (uint64(in.Imm) & 63)
+			ii++
+		case isa.OpShrI:
+			regs[in.A] = int64(uint64(regs[in.B]) >> (uint64(in.Imm) & 63))
+			ii++
+		case isa.OpCmpLt:
+			regs[in.A] = b2i(regs[in.B] < regs[in.C])
+			ii++
+		case isa.OpCmpEq:
+			regs[in.A] = b2i(regs[in.B] == regs[in.C])
+			ii++
+		case isa.OpLoad:
+			regs[in.A] = r.mem[regs[in.B]+in.Imm]
+			ii++
+		case isa.OpStore:
+			r.mem[regs[in.B]+in.Imm] = regs[in.A]
+			ii++
+		case isa.OpBr:
+			if regs[in.A] != 0 {
+				bi, ii = int(in.Imm), 0
+			} else {
+				ii++
+			}
+		case isa.OpBrZ:
+			if regs[in.A] == 0 {
+				bi, ii = int(in.Imm), 0
+			} else {
+				ii++
+			}
+		case isa.OpJmp:
+			bi, ii = int(in.Imm), 0
+		case isa.OpCall:
+			regs[in.A] = r.call(t, program.MethodID(in.Imm), &regs)
+			ii++
+		case isa.OpCallR:
+			regs[in.A] = r.call(t, program.MethodID(regs[in.B]), &regs)
+			ii++
+		case isa.OpRet:
+			return regs[in.A]
+		case isa.OpHalt:
+			return 0
+		default:
+			t.Fatalf("reference: unhandled op %s", in.Op)
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// genProgramInner builds a random, valid, terminating program:
+//
+//   - methods call only lower-ID methods (no recursion);
+//   - every loop is a counted loop with a fresh counter register;
+//   - every memory address is a constant base plus an AndI-masked
+//     index, both inside the memory image.
+func genProgramInner(rng *rand.Rand, b *program.Builder, memWords int) *program.Program {
+	nAux := 1 + rng.Intn(4)
+	var ids []program.MethodID
+
+	emitBody := func(m *program.MethodBuilder, canCall bool, last bool) {
+		// Entry block: constants.
+		entry := m.NewBlock()
+		for r := uint8(4); r < 10; r++ {
+			entry.Const(r, int64(rng.Intn(1<<16))-1<<15)
+		}
+		entry.Const(10, 0)                     // loop counter
+		entry.Const(11, int64(2+rng.Intn(30))) // loop bound
+
+		// Loop body: random straight-line ops.
+		body := m.NewBlock()
+		nOps := 3 + rng.Intn(12)
+		for i := 0; i < nOps; i++ {
+			a := uint8(4 + rng.Intn(6))
+			x := uint8(4 + rng.Intn(6))
+			y := uint8(4 + rng.Intn(6))
+			switch rng.Intn(12) {
+			case 0:
+				body.Add(a, x, y)
+			case 1:
+				body.Sub(a, x, y)
+			case 2:
+				body.Mul(a, x, y)
+			case 3:
+				body.Xor(a, x, y)
+			case 4:
+				body.AddI(a, x, int64(rng.Intn(1000)))
+			case 5:
+				body.ShrI(a, x, int64(rng.Intn(8)))
+			case 6:
+				body.CmpLt(a, x, y)
+			case 7:
+				body.Emit(isa.Instr{Op: isa.OpDiv, A: a, B: x, C: y})
+			case 8:
+				body.Emit(isa.Instr{Op: isa.OpRem, A: a, B: x, C: y})
+			case 9: // masked load
+				body.AndI(12, x, int64(memWords/2-1))
+				body.Const(13, int64(rng.Intn(memWords/2)))
+				body.Add(13, 13, 12)
+				body.Load(a, 13, 0)
+			case 10: // masked store
+				body.AndI(12, x, int64(memWords/2-1))
+				body.Const(13, int64(rng.Intn(memWords/2)))
+				body.Add(13, 13, 12)
+				body.Store(a, 13, 0)
+			case 11:
+				if canCall && len(ids) > 0 {
+					callee := ids[rng.Intn(len(ids))]
+					body.Const(0, int64(rng.Intn(100)))
+					if rng.Intn(4) == 0 {
+						// Indirect call with a constant target.
+						body.Const(14, int64(callee))
+						body.CallR(15, 14)
+					} else {
+						body.Call(15, callee)
+					}
+				} else {
+					body.Nop()
+				}
+			}
+		}
+		body.AddI(10, 10, 1)
+		body.CmpLt(12, 10, 11)
+		body.Br(12, body.Index())
+
+		exit := m.NewBlock()
+		if last {
+			exit.Const(20, 0)
+			exit.Store(15, 20, 0) // make the last call result observable
+			exit.Halt()
+		} else {
+			exit.Ret(15)
+		}
+	}
+
+	for i := 0; i < nAux; i++ {
+		m := b.NewMethod("aux")
+		emitBody(m, i > 0, false)
+		ids = append(ids, m.ID())
+	}
+	main := b.NewMethod("main")
+	emitBody(main, true, true)
+	b.SetEntry(main.ID())
+	return b.MustBuild()
+}
+
+func TestEngineMatchesReferenceInterpreter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := genProgramInner(rng, newFuzzBuilder(), 1<<12)
+
+		ref := &refMachine{prog: prog}
+		want := ref.run(t)
+
+		mach, err := machine.New(machine.PaperConfig(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		aos := NewAOS(testParams(), mach, prog)
+		eng, err := NewEngine(prog, mach, aos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(0); err != nil {
+			t.Logf("seed %d: engine fault: %v", seed, err)
+			return false
+		}
+		got := eng.Mem()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("seed %d: mem[%d] = %d, reference %d", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newFuzzBuilder() *program.Builder {
+	b := program.NewBuilder("fuzz")
+	b.SetMemWords(1 << 12)
+	return b
+}

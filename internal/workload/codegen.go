@@ -1,0 +1,573 @@
+// Package workload synthesizes the seven SPECjvm98 stand-in programs
+// the evaluation runs (DESIGN.md §1: the suite itself cannot run on
+// this VM, so each benchmark is replaced by a generated program whose
+// hotspot demography and phase character match the published
+// behaviour of the original). The generators are deterministic: the
+// same Spec always yields the same program.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acedo/internal/program"
+)
+
+// Register conventions used by generated code:
+//
+//	r0..r3   arguments (r0 carries the base address for chunk leaves)
+//	r4..r14  leaf-local scratch
+//	r15      call return-value sink
+//	r16..r27 loop counters in phase/main methods
+const (
+	regArg0  = 0
+	regRet   = 15
+	regLoop0 = 16
+)
+
+// LeafKind selects a leaf method's memory behaviour.
+type LeafKind int
+
+const (
+	// SeqRead walks an array with a fixed stride, reading.
+	SeqRead LeafKind = iota
+	// SeqWrite walks an array writing (dirty lines: resize cost).
+	SeqWrite
+	// Probe performs pseudo-random reads within a power-of-two
+	// footprint (an LCG computed in registers).
+	Probe
+	// Compute is a pure ALU loop (no data memory).
+	Compute
+)
+
+// String returns the kind name.
+func (k LeafKind) String() string {
+	switch k {
+	case SeqRead:
+		return "seqread"
+	case SeqWrite:
+		return "seqwrite"
+	case Probe:
+		return "probe"
+	case Compute:
+		return "compute"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// LeafSpec describes one leaf method — the programs' L1D-class
+// hotspots (or, with ArgBase, a chunk walker driven across a larger
+// region by its enclosing phase).
+type LeafSpec struct {
+	Name string
+	Kind LeafKind
+	// FootprintWords is the words touched per invocation (power of
+	// two for Probe). Ignored for Compute.
+	FootprintWords int
+	// Stride is the walk stride in words (SeqRead/SeqWrite).
+	Stride int
+	// Repeats walks the footprint this many times per invocation,
+	// scaling the leaf's dynamic size without growing its footprint.
+	Repeats int
+	// Iters is the loop count for Compute leaves. For Probe leaves
+	// it overrides the probe count (default Repeats×Footprint/8),
+	// letting a leaf probe sparsely into a large footprint without
+	// growing its dynamic size.
+	Iters int
+	// Pad inserts this many ALU instructions per loop iteration,
+	// thinning memory intensity.
+	Pad int
+	// ArgBase makes the leaf address its array at r0 instead of a
+	// private base; the phase sweeps r0 across a region.
+	ArgBase bool
+}
+
+// LeafRun is a sub-phase: Count consecutive invocations of one leaf.
+// Consecutive same-leaf invocations let the L1D adapt at a coarser
+// granularity than single calls, matching the paper's reconfiguration-
+// interval spacing (and keeping resize state-migration costs small).
+type LeafRun struct {
+	Leaf  int // index into the Spec's Leaves
+	Count int
+}
+
+// PhaseSpec describes one phase method — the programs' L2-class
+// hotspots. A phase invocation first executes OnceRuns and the
+// optional chunk sweep (the heavyweight, cache-polluting work:
+// resident probes and streaming regions), then loops Reps times over
+// its sub-phase Runs. Keeping the polluters out of the rep loop keeps
+// the band leaves' measurements clean, as at the paper's scale where
+// pollution amortizes over 10× longer invocations.
+type PhaseSpec struct {
+	Name string
+	// OnceRuns execute once per phase invocation, before the loop.
+	OnceRuns []LeafRun
+	// Runs execute every rep.
+	Runs []LeafRun
+	Reps int
+	// ChunkLeaf, if ≥0, names an ArgBase leaf swept once per
+	// invocation across RegionWords in steps of the leaf's
+	// FootprintWords.
+	ChunkLeaf   int
+	RegionWords int
+}
+
+// Step is one element of the benchmark's top-level script: invoke a
+// phase some consecutive times, then run a transition mixture.
+type Step struct {
+	Phase int // index into Phases, or -1 for a transition-only step
+	Reps  int // consecutive phase invocations
+	// TransMix lists transition-method indices to run after the
+	// phase, TransReps times each in round-robin.
+	TransMix  []int
+	TransReps int
+}
+
+// Spec is a complete benchmark description.
+type Spec struct {
+	Name string
+	Desc string
+	// Seed drives the generation-time PRNG (transition pool
+	// shapes); execution is deterministic regardless.
+	Seed int64
+
+	Leaves []LeafSpec
+	Phases []PhaseSpec
+
+	// TransPool is the number of distinct transition methods to
+	// generate; TransFootprintWords bounds their (small) arrays.
+	TransPool           int
+	TransFootprintWords int
+
+	Script    []Step
+	MainLoops int
+}
+
+// gen carries generation state.
+type gen struct {
+	b    *program.Builder
+	rng  *rand.Rand
+	heap int // bump allocator, in words
+
+	leafIDs        []program.MethodID
+	leafFootprints []int
+	phaseIDs       []program.MethodID
+	transIDs       []program.MethodID
+}
+
+func (g *gen) alloc(words int) int {
+	base := g.heap
+	g.heap += words
+	return base
+}
+
+// Build generates the benchmark program.
+func (s Spec) Build() (*program.Program, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		b:   program.NewBuilder(s.Name),
+		rng: rand.New(rand.NewSource(s.Seed)),
+	}
+
+	// Method 0 is main so the entry is stable; leaves, phases and
+	// transitions follow. Main's body needs their IDs, so declare
+	// main first and fill it last.
+	main := g.b.NewMethod("main")
+
+	for i, ls := range s.Leaves {
+		g.leafIDs = append(g.leafIDs, g.emitLeaf(fmt.Sprintf("leaf_%s", nameOr(ls.Name, i)), ls))
+		g.leafFootprints = append(g.leafFootprints, ls.FootprintWords)
+	}
+	for i, ps := range s.Phases {
+		g.phaseIDs = append(g.phaseIDs, g.emitPhase(fmt.Sprintf("phase_%s", nameOr(ps.Name, i)), ps))
+	}
+	for i := 0; i < s.TransPool; i++ {
+		g.transIDs = append(g.transIDs, g.emitTransition(i, s.TransFootprintWords))
+	}
+
+	g.emitMain(main, s)
+
+	g.b.SetEntry(main.ID())
+	g.b.SetMemWords(g.heap + 64) // small slack for off-by-one strides
+	return g.b.Build()
+}
+
+// WithMainLoops returns a copy of the spec with the outer loop count
+// replaced — tests and benchmarks use it to run shortened variants of
+// the suite programs.
+func (s Spec) WithMainLoops(n int) Spec {
+	if n < 1 {
+		n = 1
+	}
+	s.MainLoops = n
+	return s
+}
+
+// MustBuild is Build that panics on error.
+func (s Spec) MustBuild() *program.Program {
+	p, err := s.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func nameOr(n string, i int) string {
+	if n != "" {
+		return n
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+func (s Spec) validate() error {
+	if len(s.Leaves) == 0 || len(s.Phases) == 0 || len(s.Script) == 0 || s.MainLoops <= 0 {
+		return fmt.Errorf("workload %s: empty leaves/phases/script or non-positive main loops", s.Name)
+	}
+	for i, ps := range s.Phases {
+		for _, run := range append(append([]LeafRun{}, ps.OnceRuns...), ps.Runs...) {
+			if run.Leaf < 0 || run.Leaf >= len(s.Leaves) {
+				return fmt.Errorf("workload %s: phase %d references leaf %d", s.Name, i, run.Leaf)
+			}
+			if run.Count <= 0 {
+				return fmt.Errorf("workload %s: phase %d has non-positive run count", s.Name, i)
+			}
+		}
+		if ps.ChunkLeaf >= 0 {
+			if ps.ChunkLeaf >= len(s.Leaves) {
+				return fmt.Errorf("workload %s: phase %d chunk leaf %d out of range", s.Name, i, ps.ChunkLeaf)
+			}
+			cl := s.Leaves[ps.ChunkLeaf]
+			if !cl.ArgBase {
+				return fmt.Errorf("workload %s: phase %d chunk leaf %q is not ArgBase", s.Name, i, cl.Name)
+			}
+			if ps.RegionWords < cl.FootprintWords {
+				return fmt.Errorf("workload %s: phase %d region smaller than chunk footprint", s.Name, i)
+			}
+		}
+	}
+	for i, st := range s.Script {
+		if st.Phase >= len(s.Phases) {
+			return fmt.Errorf("workload %s: step %d phase %d out of range", s.Name, i, st.Phase)
+		}
+		for _, t := range st.TransMix {
+			if t < 0 || t >= s.TransPool {
+				return fmt.Errorf("workload %s: step %d transition %d out of range", s.Name, i, t)
+			}
+		}
+	}
+	return nil
+}
+
+// emitLeaf generates one leaf method.
+func (g *gen) emitLeaf(name string, ls LeafSpec) program.MethodID {
+	m := g.b.NewMethod(name)
+	switch ls.Kind {
+	case SeqRead, SeqWrite:
+		base := 0
+		if !ls.ArgBase {
+			base = g.alloc(ls.FootprintWords)
+		}
+		g.emitSeqWalk(m, ls, base)
+	case Probe:
+		base := 0
+		if !ls.ArgBase {
+			base = g.alloc(ls.FootprintWords + 1) // +1 for the seed cell
+		}
+		g.emitProbe(m, ls, base)
+	case Compute:
+		g.emitCompute(m, ls)
+	}
+	return m.ID()
+}
+
+// emitSeqWalk emits:
+//
+//	for r := 0; r < Repeats; r++ {
+//	    for i := 0; i < footprint; i += stride { acc += a[i]; pad }
+//	}
+func (g *gen) emitSeqWalk(m *program.MethodBuilder, ls LeafSpec, base int) {
+	const (
+		rBase, rIdx, rLimit, rAcc, rAddr, rVal, rCond = 4, 5, 6, 7, 8, 9, 10
+		rRep, rRepLim, rRepCond                       = 11, 12, 13
+	)
+	stride := ls.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	repeats := max(ls.Repeats, 1)
+
+	entry := m.NewBlock()
+	if ls.ArgBase {
+		entry.AddI(rBase, regArg0, 0)
+	} else {
+		entry.Const(rBase, int64(base))
+	}
+	entry.Const(rRep, 0)
+	entry.Const(rRepLim, int64(repeats))
+
+	repHead := m.NewBlock()
+	repHead.Const(rIdx, 0)
+	repHead.Const(rLimit, int64(ls.FootprintWords))
+
+	body := m.NewBlock()
+	body.Add(rAddr, rBase, rIdx)
+	if ls.Kind == SeqWrite {
+		body.AddI(rVal, rAcc, 1)
+		body.Store(rVal, rAddr, 0)
+	} else {
+		body.Load(rVal, rAddr, 0)
+		body.Add(rAcc, rAcc, rVal)
+	}
+	emitPad(body, ls.Pad, rVal)
+	body.AddI(rIdx, rIdx, int64(stride))
+	body.CmpLt(rCond, rIdx, rLimit)
+	body.Br(rCond, body.Index())
+
+	repTail := m.NewBlock()
+	repTail.AddI(rRep, rRep, 1)
+	repTail.CmpLt(rRepCond, rRep, rRepLim)
+	repTail.Br(rRepCond, repHead.Index())
+
+	m.NewBlock().Ret(rAcc)
+}
+
+// emitProbe emits an LCG-driven random-read loop over a power-of-two
+// footprint. Private (non-ArgBase) probe leaves keep an invocation
+// counter in a seed cell just past their array, so successive
+// invocations probe different addresses and, over time, the whole
+// footprint becomes resident — modelling a long-lived heap structure.
+func (g *gen) emitProbe(m *program.MethodBuilder, ls LeafSpec, base int) {
+	const (
+		rBase, rState, rCnt, rLimit, rIdx, rAddr, rVal, rAcc, rCond, rSeed = 4, 5, 6, 7, 8, 9, 10, 11, 12, 13
+	)
+	probes := max(ls.Repeats, 1) * max(ls.FootprintWords/8, 1)
+	if ls.Iters > 0 {
+		probes = ls.Iters
+	}
+
+	entry := m.NewBlock()
+	if ls.ArgBase {
+		entry.AddI(rBase, regArg0, 0)
+		entry.AddI(rState, regArg1(), 0) // per-chunk seed for address variety
+	} else {
+		seedCell := base + ls.FootprintWords // allocated by caller via footprint+1
+		entry.Const(rBase, int64(base))
+		entry.Const(rSeed, int64(seedCell))
+		entry.Load(rState, rSeed, 0)
+		entry.AddI(rVal, rState, 1)
+		entry.Store(rVal, rSeed, 0)
+		entry.MulI(rState, rState, 0x9E3779B9)
+	}
+	entry.Const(rCnt, 0)
+	entry.Const(rLimit, int64(probes))
+
+	body := m.NewBlock()
+	body.MulI(rState, rState, 6364136223846793005)
+	body.AddI(rState, rState, 1442695040888963407)
+	body.ShrI(rIdx, rState, 33)
+	body.AndI(rIdx, rIdx, int64(ls.FootprintWords-1))
+	body.Add(rAddr, rBase, rIdx)
+	body.Load(rVal, rAddr, 0)
+	body.Add(rAcc, rAcc, rVal)
+	emitPad(body, ls.Pad, rVal)
+	body.AddI(rCnt, rCnt, 1)
+	body.CmpLt(rCond, rCnt, rLimit)
+	body.Br(rCond, body.Index())
+
+	m.NewBlock().Ret(rAcc)
+}
+
+func regArg1() uint8 { return 1 }
+
+// emitCompute emits a pure ALU loop.
+func (g *gen) emitCompute(m *program.MethodBuilder, ls LeafSpec) {
+	const rX, rY, rCnt, rLimit, rCond = 4, 5, 6, 7, 8
+	iters := max(ls.Iters, 1)
+
+	entry := m.NewBlock()
+	entry.Const(rX, 12345)
+	entry.Const(rY, 67890)
+	entry.Const(rCnt, 0)
+	entry.Const(rLimit, int64(iters))
+
+	body := m.NewBlock()
+	body.Mul(rX, rX, rY)
+	body.AddI(rX, rX, 7)
+	body.Xor(rY, rY, rX)
+	emitPad(body, ls.Pad, rY)
+	body.AddI(rCnt, rCnt, 1)
+	body.CmpLt(rCond, rCnt, rLimit)
+	body.Br(rCond, body.Index())
+
+	m.NewBlock().Ret(rX)
+}
+
+// emitPad appends n dependent ALU instructions cycling a scratch
+// register.
+func emitPad(bb *program.BlockBuilder, n int, seed uint8) {
+	const rPad = 14
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			bb.AddI(rPad, seed, int64(i+1))
+		case 1:
+			bb.XorI(rPad, rPad, 0x5555)
+		case 2:
+			bb.ShrI(rPad, rPad, 1)
+		}
+	}
+}
+
+// emitPhase generates one phase method: Reps × (sub-phase leaf runs +
+// optional chunk sweep).
+func (g *gen) emitPhase(name string, ps PhaseSpec) program.MethodID {
+	m := g.b.NewMethod(name)
+	const (
+		rRep, rRepLim, rRepCond       = regLoop0, regLoop0 + 1, regLoop0 + 2
+		rChunk, rChunkLim, rChunkCond = regLoop0 + 3, regLoop0 + 4, regLoop0 + 5
+		rRun, rRunLim, rRunCond       = regLoop0 + 6, regLoop0 + 7, regLoop0 + 8
+	)
+	reps := max(ps.Reps, 1)
+
+	var regionBase, chunkWords int
+	if ps.ChunkLeaf >= 0 {
+		regionBase = g.alloc(ps.RegionWords)
+		chunkWords = g.leafFootprint(ps.ChunkLeaf)
+	}
+
+	emitRun := func(run LeafRun) {
+		setup := m.NewBlock()
+		setup.Const(rRun, 0)
+		setup.Const(rRunLim, int64(run.Count))
+		loop := m.NewBlock()
+		loop.Call(regRet, g.leafIDs[run.Leaf])
+		loop.AddI(rRun, rRun, 1)
+		loop.CmpLt(rRunCond, rRun, rRunLim)
+		loop.Br(rRunCond, loop.Index())
+	}
+
+	m.NewBlock().Nop() // entry anchor
+
+	// Once-per-invocation section: resident probes and the chunk
+	// sweep.
+	for _, run := range ps.OnceRuns {
+		emitRun(run)
+	}
+	if ps.ChunkLeaf >= 0 {
+		setup := m.NewBlock()
+		setup.Const(rChunk, int64(regionBase))
+		setup.Const(rChunkLim, int64(regionBase+ps.RegionWords))
+		sweep := m.NewBlock()
+		sweep.AddI(regArg0, rChunk, 0)   // base argument
+		sweep.AddI(regArg1(), rChunk, 0) // probe seed argument
+		sweep.Call(regRet, g.leafIDs[ps.ChunkLeaf])
+		sweep.AddI(rChunk, rChunk, int64(chunkWords))
+		sweep.CmpLt(rChunkCond, rChunk, rChunkLim)
+		sweep.Br(rChunkCond, sweep.Index())
+	}
+
+	repSetup := m.NewBlock()
+	repSetup.Const(rRep, 0)
+	repSetup.Const(rRepLim, int64(reps))
+
+	body := m.NewBlock()
+	body.Nop() // rep-loop head anchor
+
+	for _, run := range ps.Runs {
+		emitRun(run)
+	}
+
+	tail := m.NewBlock()
+	tail.AddI(rRep, rRep, 1)
+	tail.CmpLt(rRepCond, rRep, rRepLim)
+	tail.Br(rRepCond, body.Index())
+
+	m.NewBlock().Ret(regRet)
+	return m.ID()
+}
+
+func (g *gen) leafFootprint(i int) int {
+	// Chunk strides advance by the leaf's footprint; the spec
+	// carries it, so look it up through the builder-order mapping.
+	return g.leafFootprints[i]
+}
+
+// emitTransition generates one small transition method: a short mixed
+// walk+ALU loop over a private array with a generation-time-random
+// footprint and padding, giving each transition a distinct BBV
+// signature weight.
+func (g *gen) emitTransition(i, maxFootprintWords int) program.MethodID {
+	if maxFootprintWords < 64 {
+		maxFootprintWords = 64
+	}
+	fp := 64 << g.rng.Intn(3) // 64..256 words
+	if fp > maxFootprintWords {
+		fp = maxFootprintWords
+	}
+	ls := LeafSpec{
+		Kind:           SeqRead,
+		FootprintWords: fp,
+		Stride:         1,
+		Repeats:        1 + g.rng.Intn(3),
+		Pad:            g.rng.Intn(4),
+	}
+	m := g.b.NewMethod(fmt.Sprintf("trans_%d", i))
+	g.emitSeqWalk(m, ls, g.alloc(fp))
+	return m.ID()
+}
+
+// emitMain fills the entry method: MainLoops × unrolled script.
+func (g *gen) emitMain(m *program.MethodBuilder, s Spec) {
+	const (
+		rMain, rMainLim, rMainCond = regLoop0 + 6, regLoop0 + 7, regLoop0 + 8
+		rStep, rStepLim, rStepCond = regLoop0 + 9, regLoop0 + 10, regLoop0 + 11
+	)
+
+	entry := m.NewBlock()
+	entry.Const(rMain, 0)
+	entry.Const(rMainLim, int64(s.MainLoops))
+
+	head := m.NewBlock()
+	head.Nop() // loop head anchor
+
+	for _, st := range s.Script {
+		if st.Phase >= 0 && st.Reps > 0 {
+			blk := m.NewBlock()
+			blk.Const(rStep, 0)
+			blk.Const(rStepLim, int64(st.Reps))
+			loop := m.NewBlock()
+			loop.Call(regRet, g.phaseIDs[st.Phase])
+			loop.AddI(rStep, rStep, 1)
+			loop.CmpLt(rStepCond, rStep, rStepLim)
+			loop.Br(rStepCond, loop.Index())
+		}
+		if len(st.TransMix) > 0 && st.TransReps > 0 {
+			blk := m.NewBlock()
+			blk.Const(rStep, 0)
+			blk.Const(rStepLim, int64(st.TransReps))
+			loop := m.NewBlock()
+			for _, t := range st.TransMix {
+				loop.Call(regRet, g.transIDs[t])
+			}
+			loop.AddI(rStep, rStep, 1)
+			loop.CmpLt(rStepCond, rStep, rStepLim)
+			loop.Br(rStepCond, loop.Index())
+		}
+	}
+
+	tail := m.NewBlock()
+	tail.AddI(rMain, rMain, 1)
+	tail.CmpLt(rMainCond, rMain, rMainLim)
+	tail.Br(rMainCond, head.Index())
+
+	m.NewBlock().Halt()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
