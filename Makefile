@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench tables vet fmt cover fuzz clean
+.PHONY: all build test test-short bench bench-snapshot tables vet fmt fmt-check cover fuzz ci clean
 
 all: build test
 
@@ -15,6 +15,10 @@ vet:
 fmt:
 	gofmt -l .
 
+# Fail when any file needs reformatting (CI gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test: build vet
 	$(GO) test ./...
 
@@ -24,6 +28,11 @@ test-short:
 # One testing.B benchmark per paper table/figure plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Schema-stable JSON snapshot of the full suite — the per-commit
+# perf/energy trajectory artifact (BENCH_<commit>.json).
+bench-snapshot:
+	$(GO) run ./cmd/acetables -json BENCH_$$(git rev-parse --short HEAD).json -q
 
 # Regenerate every table and figure (21 simulations, ~20 s single-core).
 tables:
@@ -42,6 +51,13 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzEngineVsReference -fuzztime=20s ./internal/vm
 	$(GO) test -fuzz=FuzzCacheVsReference -fuzztime=20s ./internal/cache
+
+# Everything the CI workflow runs, locally.
+ci: build vet fmt-check
+	$(GO) test -race ./...
+	$(GO) test -fuzz=FuzzEngineVsReference -fuzztime=10s -run=^$$ ./internal/vm
+	$(GO) test -fuzz=FuzzEngineUnderManagement -fuzztime=10s -run=^$$ ./internal/vm
+	$(GO) test -fuzz=FuzzCacheVsReference -fuzztime=10s -run=^$$ ./internal/cache
 
 clean:
 	$(GO) clean ./...

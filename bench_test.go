@@ -360,6 +360,21 @@ func BenchmarkWarmStart(b *testing.B) {
 	b.ReportMetric(float64(warmStarts), "warm-started-hotspots")
 }
 
+// BenchmarkSuite runs the full (shortened) 7×3 suite comparison — the
+// end-to-end path behind `acetables -json` — with no telemetry sink
+// attached, so it doubles as the zero-overhead regression bench for
+// the instrumented hot paths.
+func BenchmarkSuite(b *testing.B) {
+	opt := acedo.DefaultOptions()
+	for i := 0; i < b.N; i++ {
+		for _, s := range shrunkSuite() {
+			if _, err := acedo.CompareSchemes(s, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkEngine measures raw interpreter throughput in simulated
 // instructions per second.
 func BenchmarkEngine(b *testing.B) {

@@ -5,30 +5,58 @@
 //
 //	acesim -bench compress -scheme hotspot [-scale 10] [-max 0]
 //	acesim -bench db -scheme all
+//	acesim -bench jess -scheme hotspot -events run.jsonl -interval 50000
+//	acesim -bench mpeg -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"acedo/internal/experiment"
+	"acedo/internal/telemetry"
 	"acedo/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	bench := flag.String("bench", "compress", "benchmark name (compress|db|jack|javac|jess|mpeg|mtrt)")
 	scheme := flag.String("scheme", "all", "scheme: baseline|bbv|wss|hotspot|all")
 	threeCU := flag.Bool("threecu", false, "enable the issue-queue unit (third CU)")
 	scale := flag.Uint64("scale", 10, "scale divisor for instruction-count parameters (1 = paper scale)")
 	maxInstr := flag.Uint64("max", 0, "instruction budget (0 = run to completion)")
 	loops := flag.Int("loops", 0, "override the benchmark's main loop count (0 = default)")
+	events := flag.String("events", "", "write JSONL telemetry events to this file (\"-\" = stdout)")
+	interval := flag.Uint64("interval", 0, "interval-metric sampling period in retired instructions (0 = the L1D reconfiguration interval)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	spec, ok := workload.ByName(*bench)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "acesim: unknown benchmark %q\n", *bench)
-		os.Exit(2)
+		return 2
 	}
 	if *loops > 0 {
 		spec = spec.WithMainLoops(*loops)
@@ -42,6 +70,28 @@ func main() {
 		opt = opt.WithThreeCU()
 	}
 	opt.MaxInstr = *maxInstr
+	opt.TelemetryInterval = *interval
+
+	var eventSink *telemetry.JSONL
+	if *events != "" {
+		out := os.Stdout
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		eventSink = telemetry.NewJSONL(out)
+		defer func() {
+			if err := eventSink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "acesim: events: %v\n", err)
+			}
+		}()
+		opt.Sink = eventSink
+	}
 
 	schemes := map[string][]experiment.Scheme{
 		"baseline": {experiment.SchemeBaseline},
@@ -52,16 +102,42 @@ func main() {
 	}[*scheme]
 	if schemes == nil {
 		fmt.Fprintf(os.Stderr, "acesim: unknown scheme %q\n", *scheme)
-		os.Exit(2)
+		return 2
 	}
 
 	for _, sch := range schemes {
 		res, err := experiment.Run(spec, sch, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
-			os.Exit(1)
+			return 1
+		}
+		// With -events - the event stream shares stdout with the
+		// stats: complete any buffered event line before printing.
+		if eventSink != nil {
+			if err := eventSink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "acesim: events: %v\n", err)
+				return 1
+			}
 		}
 		printRun(res)
+	}
+	return 0
+}
+
+// writeMemProfile dumps a post-GC heap profile, if requested.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
 	}
 }
 

@@ -4,17 +4,20 @@
 //
 // Usage:
 //
-//	acetables              # everything
-//	acetables -table 4     # one table
-//	acetables -figure 3    # one figure
-//	acetables -scale 10    # scale divisor (default 10; 1 = paper scale)
+//	acetables                  # everything
+//	acetables -table 4         # one table
+//	acetables -figure 3        # one figure
+//	acetables -scale 10        # scale divisor (default 10; 1 = paper scale)
+//	acetables -json out.json   # schema-stable bench snapshot ("-" = stdout)
+//	acetables -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"acedo/internal/experiment"
@@ -22,17 +25,42 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	table := flag.Int("table", 0, "print only this table (1-6)")
 	figure := flag.Int("figure", 0, "print only this figure (1, 3, 4)")
 	scale := flag.Uint64("scale", 10, "scale divisor for instruction-count parameters")
 	threeCU := flag.Bool("threecu", false, "run the three-CU extension (adds the issue-queue unit) and print its table")
-	jsonOut := flag.Bool("json", false, "emit the raw comparison results as JSON instead of tables")
+	jsonOut := flag.String("json", "", "write the suite's schema-stable bench snapshot JSON to this file instead of tables (\"-\" = stdout)")
 	detectors := flag.Bool("detectors", false, "run the phase-detector comparison (BBV vs working-set signatures vs hotspot)")
+	quiet := flag.Bool("q", false, "suppress per-benchmark progress lines on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	opt := experiment.OptionsAtScale(*scale)
 	if *threeCU {
 		opt = opt.WithThreeCU()
+	}
+	if !*quiet {
+		opt.Log = os.Stderr
 	}
 	if *detectors {
 		start := time.Now()
@@ -41,35 +69,46 @@ func main() {
 			c, err := experiment.CompareDetectors(spec, opt)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			cs = append(cs, c)
 		}
 		fmt.Fprintf(os.Stderr, "acetables: 28 simulations in %.1fs\n", time.Since(start).Seconds())
 		experiment.DetectorTable(os.Stdout, cs)
-		return
+		return 0
 	}
+	// Open the snapshot output before the multi-second suite run so a
+	// bad path fails immediately.
+	jsonFile := os.Stdout
+	if *jsonOut != "" && *jsonOut != "-" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		jsonFile = f
+	}
+
 	start := time.Now()
 	res, err := experiment.Collect(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "acetables: 21 simulations in %.1fs\n", time.Since(start).Seconds())
 
 	w := os.Stdout
-	if *jsonOut {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res.Comparisons); err != nil {
+	if *jsonOut != "" {
+		if err := res.Snapshot().WriteJSON(jsonFile); err != nil {
 			fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *threeCU {
 		res.ExtensionThreeCU(w)
-		return
+		return 0
 	}
 	switch {
 	case *table == 1:
@@ -94,6 +133,24 @@ func main() {
 		res.WriteAll(w)
 	default:
 		fmt.Fprintf(os.Stderr, "acetables: no such table/figure\n")
-		os.Exit(2)
+		return 2
+	}
+	return 0
+}
+
+// writeMemProfile dumps a post-GC heap profile, if requested.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
 	}
 }

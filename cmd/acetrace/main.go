@@ -6,6 +6,7 @@
 // Usage:
 //
 //	acetrace -bench compress [-cols 100] [-threecu]
+//	acetrace -bench jess -events run.jsonl   # JSONL event log alongside
 package main
 
 import (
@@ -15,20 +16,26 @@ import (
 
 	"acedo"
 	"acedo/internal/machine"
+	"acedo/internal/telemetry"
 	"acedo/internal/trace"
 	"acedo/internal/vm"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	bench := flag.String("bench", "compress", "benchmark name")
 	cols := flag.Int("cols", 100, "timeline columns")
 	threeCU := flag.Bool("threecu", false, "enable the issue-queue unit")
+	events := flag.String("events", "", "also write JSONL telemetry events to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	spec, ok := acedo.BenchmarkByName(*bench)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "acetrace: unknown benchmark %q\n", *bench)
-		os.Exit(2)
+		return 2
 	}
 	opt := acedo.DefaultOptions()
 	if *threeCU {
@@ -38,27 +45,50 @@ func main() {
 	prog, err := spec.Build()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	mach, err := machine.New(opt.Machine)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
+	// The timeline Recorder is itself a telemetry.Sink; an optional
+	// JSONL sink tees off the same event stream.
 	var rec trace.Recorder
-	mach.OnReconfigure = rec.Reconfig
+	var sink telemetry.Sink = &rec
+	if *events != "" {
+		out := os.Stdout
+		if *events != "-" {
+			f, err := os.Create(*events)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			out = f
+		}
+		jl := telemetry.NewJSONL(out)
+		defer func() {
+			if err := jl.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "acetrace: events: %v\n", err)
+			}
+		}()
+		sink = telemetry.Multi(&rec, telemetry.WithRunLabels(jl, spec.Name, "hotspot"))
+	}
+	mach.OnReconfigure = telemetry.MachineReconfigure(sink)
 
 	aos := vm.NewAOS(opt.VM, mach, prog)
 	mgr, err := acedo.NewManager(opt.Core, mach, aos)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	// Chain a promotion recorder after the manager's subscription.
+	mgr.SetSink(sink)
+	// Chain a promotion emitter after the manager's subscription.
 	inner := aos.OnPromote
 	aos.OnPromote = func(p *vm.MethodProfile) {
-		rec.Promotion(p.Name, mach.Instructions())
+		sink.Emit(telemetry.Promotion(p.Name, mach.Instructions()))
 		if inner != nil {
 			inner(p)
 		}
@@ -67,11 +97,11 @@ func main() {
 	eng, err := vm.NewEngine(prog, mach, aos)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := eng.Run(0); err != nil {
 		fmt.Fprintf(os.Stderr, "acetrace: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("benchmark %s under the hotspot framework (%d instructions)\n\n",
@@ -85,4 +115,5 @@ func main() {
 				h.Prof.Name, u.Name(), u.Setting(h.BestConfig()[i]), h.State())
 		}
 	}
+	return 0
 }

@@ -20,6 +20,7 @@ import (
 	"acedo/internal/ace"
 	"acedo/internal/machine"
 	"acedo/internal/stats"
+	"acedo/internal/telemetry"
 )
 
 // Params configures the BBV scheme.
@@ -179,6 +180,10 @@ type Manager struct {
 	// pred is the optional next-phase predictor.
 	pred *Predictor
 
+	// sink, when non-nil, observes interval classifications and
+	// phase tuning completions.
+	sink telemetry.Sink
+
 	stats ManagerStats
 }
 
@@ -253,6 +258,22 @@ func MustNewManager(params Params, mach *machine.Machine) *Manager {
 // Params returns the scheme parameters.
 func (m *Manager) Params() Params { return m.params }
 
+// SetSink installs a telemetry sink observing the detector's interval
+// classifications and the tuner's phase completions. Pass nil to
+// remove it. Install before running the engine.
+func (m *Manager) SetSink(s telemetry.Sink) { m.sink = s }
+
+// configValues translates a combination index into setting values in
+// the manager's unit order.
+func (m *Manager) configValues(pos int) []int {
+	cfg := m.combos[pos]
+	vals := make([]int, len(cfg))
+	for i, u := range m.units {
+		vals[i] = u.Setting(cfg[i])
+	}
+	return vals
+}
+
 // Phases returns the recognized phases in discovery order.
 func (m *Manager) Phases() []*Phase { return m.phases }
 
@@ -319,6 +340,13 @@ func (m *Manager) boundary() {
 		m.runLength = 1
 	}
 	stable := m.runLength >= m.params.StableRun
+	if m.sink != nil {
+		m.sink.Emit(telemetry.Event{
+			Type:  telemetry.TypePhase,
+			Instr: m.mach.Instructions(),
+			Phase: &telemetry.PhaseEvent{Phase: phaseID, Stable: stable, IPC: d.IPC()},
+		})
+	}
 	if m.pred != nil {
 		m.pred.Observe(phaseID, m.runLength)
 	}
@@ -449,6 +477,17 @@ func (m *Manager) finishPhase(ph *Phase) {
 	}
 	ph.bestPos = best
 	ph.Done = true
+	if m.sink != nil {
+		m.sink.Emit(telemetry.Event{
+			Type:  telemetry.TypePhaseTuned,
+			Instr: m.mach.Instructions(),
+			Phase: &telemetry.PhaseEvent{
+				Phase:  ph.ID,
+				Config: m.configValues(best),
+				IPC:    ph.meas[best].ipc,
+			},
+		})
+	}
 }
 
 // Report is the BBV scheme's end-of-run accounting.

@@ -8,6 +8,7 @@ import (
 	"acedo/internal/machine"
 	"acedo/internal/program"
 	"acedo/internal/stats"
+	"acedo/internal/telemetry"
 	"acedo/internal/vm"
 )
 
@@ -179,6 +180,10 @@ type Manager struct {
 	unmanaged  int
 	warmStarts int
 
+	// sink, when non-nil, observes tuner decisions (completed
+	// configuration measurements, selections, re-tunes).
+	sink telemetry.Sink
+
 	micro classCounters
 	l1d   classCounters
 	l2    classCounters
@@ -210,6 +215,32 @@ func MustNewManager(params Params, mach *machine.Machine, aos *vm.AOS) *Manager 
 
 // Params returns the framework parameters.
 func (m *Manager) Params() Params { return m.params }
+
+// SetSink installs a telemetry sink observing the tuner's decisions.
+// Pass nil to remove it. Install before running the engine.
+func (m *Manager) SetSink(s telemetry.Sink) { m.sink = s }
+
+// configValues translates a setting-index vector into setting values
+// in the hotspot's unit order (what an event consumer can interpret
+// without the unit tables).
+func (h *Hotspot) configValues(pos int) []int {
+	cfg := h.configs[pos]
+	vals := make([]int, len(cfg))
+	for i, u := range h.units {
+		vals[i] = u.Setting(cfg[i])
+	}
+	return vals
+}
+
+// emitTuner sends one tuner event for the hotspot.
+func (m *Manager) emitTuner(t telemetry.Type, h *Hotspot, ev telemetry.TunerEvent) {
+	if m.sink == nil {
+		return
+	}
+	ev.Method = h.Prof.Name
+	ev.Class = h.Class.String()
+	m.sink.Emit(telemetry.Event{Type: t, Instr: m.mach.Instructions(), Tuner: &ev})
+}
 
 // Hotspots returns the managed hotspots in promotion order.
 func (m *Manager) Hotspots() []*Hotspot { return m.hotspots }
@@ -468,6 +499,9 @@ func (m *Manager) tuneStep(h *Hotspot, e invEntry, d machine.Snapshot, ipc float
 			return
 		}
 		m.class(h.Class).tunings++
+		m.emitTuner(telemetry.TypeTuneStep, h, telemetry.TunerEvent{
+			Config: h.configValues(h.next), IPC: ms.ipc(), EPI: ms.epi(),
+		})
 		ref := h.meas[0]
 		failed := ref.valid() && h.next > 0 && m.gateFails(ref, *ms)
 		// The descent is grouped by the innermost (lowest-overhead)
@@ -532,6 +566,10 @@ func (m *Manager) finishTuning(h *Hotspot, completed bool) {
 		h.TunedOK = true
 		m.class(h.Class).tuned++
 	}
+	m.emitTuner(telemetry.TypeTuned, h, telemetry.TunerEvent{
+		Config: h.configValues(best), IPC: h.TunedIPC, EPI: h.meas[best].epi(),
+		Passive: h.passive, Completed: completed,
+	})
 	m.installConfiguredHooks(h)
 }
 
@@ -553,6 +591,7 @@ func (m *Manager) gateFails(ref, ms measure) bool {
 // behaviour change (paper Section 3.3; rare by design).
 func (m *Manager) retune(h *Hotspot) {
 	h.Retunes++
+	m.emitTuner(telemetry.TypeRetune, h, telemetry.TunerEvent{})
 	h.st = stateTuning
 	h.next = 0
 	h.attempt = 0

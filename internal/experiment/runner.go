@@ -7,14 +7,19 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"acedo/internal/bbv"
 	"acedo/internal/core"
 	"acedo/internal/cpu"
 	"acedo/internal/machine"
+	"acedo/internal/telemetry"
 	"acedo/internal/vm"
 	"acedo/internal/workload"
 	"acedo/internal/wss"
@@ -64,6 +69,24 @@ type Options struct {
 	Core    core.Params
 	BBV     bbv.Params
 	WSS     wss.Params
+
+	// Sink, when non-nil, receives the run's telemetry: every
+	// accepted reconfiguration, hotspot promotion, tuner decision,
+	// and interval-metrics sample (internal/telemetry). Events are
+	// stamped with the benchmark and scheme, so one concurrency-safe
+	// sink (e.g. telemetry.JSONL) can serve a parallel RunSuite. Nil
+	// keeps the simulator's hot paths instrumentation-free.
+	Sink telemetry.Sink
+
+	// TelemetryInterval is the interval sampler's period in retired
+	// instructions. 0 defaults to the machine's L1D reconfiguration
+	// interval — the finest adaptation grain, so the series resolves
+	// every reconfiguration window. Ignored without a Sink.
+	TelemetryInterval uint64
+
+	// Log, when non-nil, receives per-benchmark progress lines from
+	// RunSuite (one per completed comparison).
+	Log io.Writer
 }
 
 // DefaultOptions returns the standard experiment configuration at the
@@ -155,6 +178,14 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 	}
 	aos := vm.NewAOS(opt.VM, mach, prog)
 
+	// Telemetry wiring: label the run's events and unify the
+	// machine's reconfiguration callback into the event stream.
+	var sink telemetry.Sink
+	if opt.Sink != nil {
+		sink = telemetry.WithRunLabels(opt.Sink, spec.Name, scheme.String())
+		mach.OnReconfigure = telemetry.MachineReconfigure(sink)
+	}
+
 	var hotMgr *core.Manager
 	var bbvMgr *bbv.Manager
 	switch scheme {
@@ -171,17 +202,65 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
 		}
 	}
+	if sink != nil {
+		if hotMgr != nil {
+			hotMgr.SetSink(sink)
+		}
+		if bbvMgr != nil {
+			bbvMgr.SetSink(sink)
+		}
+		// Chain a promotion event after the manager's subscription
+		// (the manager registers itself as the AOS consumer).
+		inner := aos.OnPromote
+		aos.OnPromote = func(p *vm.MethodProfile) {
+			sink.Emit(telemetry.Promotion(p.Name, mach.Instructions()))
+			if inner != nil {
+				inner(p)
+			}
+		}
+	}
 
 	eng, err := vm.NewEngine(prog, mach, aos)
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
 	}
+
+	// Block listeners: the temporal manager's accumulator and the
+	// interval sampler share the engine's single listener slot.
+	var listeners []func(pc uint64, instrs int)
 	if bbvMgr != nil {
-		eng.SetBlockListener(bbvMgr.OnBlock)
+		listeners = append(listeners, bbvMgr.OnBlock)
+	}
+	var sampler *telemetry.Sampler
+	if sink != nil {
+		every := opt.TelemetryInterval
+		if every == 0 {
+			every = opt.Machine.L1DReconfigInterval
+		}
+		if every == 0 {
+			every = 100_000
+		}
+		if sampler, err = telemetry.NewSampler(sink, mach, every); err != nil {
+			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+		}
+		listeners = append(listeners, sampler.OnBlock)
+	}
+	switch len(listeners) {
+	case 1:
+		eng.SetBlockListener(listeners[0])
+	case 2:
+		l0, l1 := listeners[0], listeners[1]
+		eng.SetBlockListener(func(pc uint64, instrs int) {
+			l0(pc, instrs)
+			l1(pc, instrs)
+		})
 	}
 
 	if err := eng.Run(opt.MaxInstr); err != nil && err != vm.ErrBudget {
 		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	}
+	if sampler != nil {
+		sampler.Final()
 	}
 
 	snap := mach.Snapshot()
@@ -374,35 +453,43 @@ func (o Options) AdjustWorkload(s workload.Spec) workload.Spec {
 // RunSuite compares every benchmark in the suite, with workload
 // lengths adjusted to the options' scale. The benchmarks run in
 // parallel (every simulation is independent and deterministic); the
-// result order matches workload.Suite().
+// result order matches workload.Suite(). With Options.Log set, one
+// progress line is written per completed benchmark. All failures are
+// collected and returned joined.
 func RunSuite(opt Options) ([]*Comparison, error) {
 	specs := workload.Suite()
 	out := make([]*Comparison, len(specs))
 	errs := make([]error, len(specs))
 
+	start := time.Now()
+	var done atomic.Int64
+	var logMu sync.Mutex
 	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
+		sem <- struct{}{} // acquire the slot before spawning
 		wg.Add(1)
 		go func(i int, spec workload.Spec) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			out[i], errs[i] = Compare(opt.AdjustWorkload(spec), opt)
+			if opt.Log != nil {
+				n := done.Add(1)
+				logMu.Lock()
+				if errs[i] != nil {
+					fmt.Fprintf(opt.Log, "suite: %-10s FAILED (%d/%d, %.1fs elapsed): %v\n",
+						spec.Name, n, len(specs), time.Since(start).Seconds(), errs[i])
+				} else {
+					fmt.Fprintf(opt.Log, "suite: %-10s done (%d/%d, %.1fs elapsed)\n",
+						spec.Name, n, len(specs), time.Since(start).Seconds())
+				}
+				logMu.Unlock()
+			}
 		}(i, spec)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -280,23 +280,38 @@ func (m *Machine) Issue(n uint64) {
 	}
 }
 
+// iLineBytes is the L1I block size (matches the cache.New call in New;
+// a 64 B line holds 16 4-byte instructions).
+const iLineBytes = 64
+
 // Fetch simulates the instruction fetch for the basic block whose
-// first instruction has global index pc. The block's instructions are
-// fetched as one L1I access (64 B lines hold 16 instructions; the
-// engine calls Fetch once per block entry).
-func (m *Machine) Fetch(pc uint64) {
-	addr := iBase + pc*instrBytes
-	if !m.ITLB.Access(addr) {
-		m.Timing.TLBMiss()
+// first instruction has global index pc and which holds instrs
+// instructions. The fetch walks the block's I-cache line range and
+// accesses each 64 B line once: a block longer than 16 instructions
+// spans — and pays for — multiple lines. The engine calls Fetch once
+// per block entry.
+func (m *Machine) Fetch(pc uint64, instrs int) {
+	if instrs < 1 {
+		instrs = 1
 	}
-	m.ML1I.Access()
-	r := m.L1I.Access(addr, false)
-	if r.Writeback {
-		m.l2Access(r.WritebackAddr, true)
-	}
-	if !r.Hit {
-		m.Timing.L1Miss()
-		m.l2Access(addr, false)
+	first := (iBase + pc*instrBytes) &^ (iLineBytes - 1)
+	last := (iBase + (pc+uint64(instrs)-1)*instrBytes) &^ (iLineBytes - 1)
+	for addr := first; ; addr += iLineBytes {
+		if !m.ITLB.Access(addr) {
+			m.Timing.TLBMiss()
+		}
+		m.ML1I.Access()
+		r := m.L1I.Access(addr, false)
+		if r.Writeback {
+			m.l2Access(r.WritebackAddr, true)
+		}
+		if !r.Hit {
+			m.Timing.L1Miss()
+			m.l2Access(addr, false)
+		}
+		if addr == last {
+			break
+		}
 	}
 }
 

@@ -72,11 +72,50 @@ func TestDataMissGoesToL2(t *testing.T) {
 
 func TestFetchUsesSeparateAddressSpace(t *testing.T) {
 	m := newMach(t)
-	m.Fetch(0)
+	m.Fetch(0, 1)
 	m.Data(0, false)
 	// Both miss to L2 but must occupy different L2 blocks.
 	if m.L2.Stats().Accesses != 2 || m.L2.Stats().Misses != 2 {
 		t.Errorf("L2 stats = %+v: I- and D-side must not alias", m.L2.Stats())
+	}
+}
+
+func TestFetchLongBlockWalksEveryLine(t *testing.T) {
+	// A 64 B I-cache line holds 16 4-byte instructions: a 40-
+	// instruction block starting at a line boundary spans 3 lines and
+	// must pay 3 L1I accesses and (cold) 3 misses — not 1 of each.
+	m := newMach(t)
+	m.Fetch(0, 40)
+	if got := m.L1I.Stats().Accesses; got != 3 {
+		t.Errorf("L1I accesses for 40-instr block = %d, want 3", got)
+	}
+	if got := m.L1I.Stats().Misses; got != 3 {
+		t.Errorf("L1I misses for cold 40-instr block = %d, want 3", got)
+	}
+	// Re-fetching the same block hits all 3 lines.
+	m.Fetch(0, 40)
+	if got := m.L1I.Stats().Accesses; got != 6 {
+		t.Errorf("L1I accesses after refetch = %d, want 6", got)
+	}
+	if got := m.L1I.Stats().Misses; got != 3 {
+		t.Errorf("refetch should hit: misses = %d, want 3", got)
+	}
+}
+
+func TestFetchUnalignedBlockLineRange(t *testing.T) {
+	// A 17-instruction block starting at instruction 15 occupies
+	// bytes [60, 128): 2 lines even though it is barely longer than
+	// one line's worth of instructions.
+	m := newMach(t)
+	m.Fetch(15, 17)
+	if got := m.L1I.Stats().Accesses; got != 2 {
+		t.Errorf("L1I accesses for unaligned block = %d, want 2", got)
+	}
+	// A short block touches exactly one line.
+	m2 := newMach(t)
+	m2.Fetch(3, 12) // bytes [12, 60): one line
+	if got := m2.L1I.Stats().Accesses; got != 1 {
+		t.Errorf("L1I accesses for short block = %d, want 1", got)
 	}
 }
 

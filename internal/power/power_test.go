@@ -80,6 +80,49 @@ func TestMeterFinalizeIsIncremental(t *testing.T) {
 	}
 }
 
+func TestMeterFinalizeIdempotentAcrossSnapshots(t *testing.T) {
+	// Reading totals mid-run (interval sampling) must not perturb the
+	// accounting: Finalize at an unchanged cycle count is a no-op, so
+	// Finalize/Totals pairs can be interleaved freely.
+	model := L1Model("L1D")
+	m := MustNewMeter(model, 64*1024)
+	m.AccessN(3)
+	m.Finalize(100)
+	first := m.Totals()
+	for i := 0; i < 5; i++ {
+		m.Finalize(100)
+		if got := m.Totals(); got != first {
+			t.Fatalf("snapshot %d changed totals: %+v != %+v", i, got, first)
+		}
+	}
+	want := 100 * model.LeakNJPerCycle[64*1024]
+	if math.Abs(first.LeakageNJ-want) > 1e-9 {
+		t.Errorf("leakage = %v, want %v", first.LeakageNJ, want)
+	}
+}
+
+func TestMeterSetSizeErrorLeavesEpochUnchanged(t *testing.T) {
+	// A rejected resize must not close the leakage epoch or move its
+	// start: later finalization still charges from the original epoch
+	// boundary at the original size's rate.
+	model := L1Model("L1D")
+	m := MustNewMeter(model, 64*1024)
+	m.Finalize(50)
+	if err := m.SetSize(999, 80); err == nil {
+		t.Fatal("unmodelled SetSize should fail")
+	}
+	if m.CurrentSize() != 64*1024 {
+		t.Errorf("CurrentSize after failed SetSize = %d", m.CurrentSize())
+	}
+	m.Finalize(100)
+	// 100 cycles at 64K total; a bug that accrued or restarted the
+	// epoch at cycle 80 would charge a different amount.
+	want := 100 * model.LeakNJPerCycle[64*1024]
+	if got := m.Totals().LeakageNJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("leakage = %v, want %v", got, want)
+	}
+}
+
 func TestMeterFlushEnergy(t *testing.T) {
 	model := L2Model()
 	m := MustNewMeter(model, 1024*1024)

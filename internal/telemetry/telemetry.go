@@ -1,0 +1,308 @@
+// Package telemetry is the run-observability layer: a single typed
+// event stream unifying the simulator's previously scattered callbacks
+// (machine reconfigurations, AOS hotspot promotions, hotspot and BBV
+// tuner decisions) plus an interval sampler producing the time-series
+// view of the paper's Figures 3-4 (IPC, miss rates, per-unit energy
+// deltas, active CU settings every N retired instructions).
+//
+// The layer is pay-for-what-you-use: with no Sink installed nothing is
+// allocated and no callback fires; with one, every event is delivered
+// as a telemetry.Event value and encoders render it (the JSONL sink
+// writes one JSON object per line; trace.Recorder is a Sink that keeps
+// the ASCII-timeline view).
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Type discriminates telemetry events.
+type Type string
+
+const (
+	// TypeReconfigure is an accepted hardware configuration change
+	// (machine.Machine.OnReconfigure).
+	TypeReconfigure Type = "reconfigure"
+	// TypePromotion is an AOS hotspot promotion.
+	TypePromotion Type = "promotion"
+	// TypeTuneStep is one completed configuration measurement of the
+	// hotspot tuner's descent.
+	TypeTuneStep Type = "tune-step"
+	// TypeTuned is a hotspot finishing its tuning pass and selecting
+	// a configuration.
+	TypeTuned Type = "tuned"
+	// TypeRetune is a sampling-triggered re-entry into tuning.
+	TypeRetune Type = "retune"
+	// TypePhase is a temporal-scheme interval boundary: the finished
+	// interval's phase classification.
+	TypePhase Type = "phase"
+	// TypePhaseTuned is a BBV/WSS phase finishing its combinatorial
+	// tuning and selecting a configuration.
+	TypePhaseTuned Type = "phase-tuned"
+	// TypeInterval is an interval-metrics sample (Sampler).
+	TypeInterval Type = "interval"
+)
+
+// Event is one entry of the run's event log. Type selects which of the
+// payload pointers is set; Instr is the retired-instruction time of the
+// event. Bench and Scheme label the run when the sink is shared across
+// runs (WithRunLabels).
+type Event struct {
+	Type   Type   `json:"type"`
+	Instr  uint64 `json:"instr"`
+	Bench  string `json:"bench,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+
+	Reconfigure *ReconfigureEvent `json:"reconfigure,omitempty"`
+	Promotion   *PromotionEvent   `json:"promotion,omitempty"`
+	Tuner       *TunerEvent       `json:"tuner,omitempty"`
+	Phase       *PhaseEvent       `json:"phase,omitempty"`
+	Interval    *IntervalMetrics  `json:"interval,omitempty"`
+}
+
+// ReconfigureEvent is an accepted configuration change: the unit and
+// its new setting value (cache bytes or queue entries).
+type ReconfigureEvent struct {
+	Unit    string `json:"unit"`
+	Setting int    `json:"setting"`
+}
+
+// PromotionEvent is a method crossing the hotspot threshold.
+type PromotionEvent struct {
+	Method string `json:"method"`
+}
+
+// TunerEvent carries a hotspot tuner decision. Config holds setting
+// values (not indices) in the hotspot's unit order.
+type TunerEvent struct {
+	Method string  `json:"method"`
+	Class  string  `json:"class,omitempty"`
+	Config []int   `json:"config,omitempty"`
+	IPC    float64 `json:"ipc,omitempty"`
+	EPI    float64 `json:"epi_nj,omitempty"`
+	// Passive marks a hotspot that inherited nested hotspots'
+	// choices instead of measuring its own (TypeTuned only).
+	Passive bool `json:"passive,omitempty"`
+	// Completed reports whether the descent tested every
+	// configuration (TypeTuned only).
+	Completed bool `json:"completed,omitempty"`
+}
+
+// PhaseEvent carries a temporal-scheme decision: the interval's phase
+// classification (TypePhase) or a phase's selected configuration
+// (TypePhaseTuned, Config in the manager's unit order, setting values).
+type PhaseEvent struct {
+	Phase  int     `json:"phase"`
+	Stable bool    `json:"stable,omitempty"`
+	Config []int   `json:"config,omitempty"`
+	IPC    float64 `json:"ipc,omitempty"`
+}
+
+// IntervalMetrics is one interval sample: deltas since the previous
+// sample plus the active CU settings at sample time.
+type IntervalMetrics struct {
+	Seq    uint64  `json:"seq"`
+	Instr  uint64  `json:"instr"`
+	Cycles uint64  `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+
+	L1DAccesses uint64  `json:"l1d_accesses"`
+	L1DMissRate float64 `json:"l1d_miss_rate"`
+	L2Accesses  uint64  `json:"l2_accesses"`
+	L2MissRate  float64 `json:"l2_miss_rate"`
+
+	L1DNJ float64 `json:"l1d_nj"`
+	L2NJ  float64 `json:"l2_nj"`
+	IQNJ  float64 `json:"iq_nj,omitempty"`
+
+	// Settings maps unit name to its active setting value.
+	Settings map[string]int `json:"settings"`
+}
+
+// Sink consumes telemetry events. Implementations decide encoding and
+// destination; Emit must not call back into the simulator.
+type Sink interface {
+	Emit(Event)
+}
+
+// Reconfigure builds a reconfiguration event.
+func Reconfigure(unit string, setting int, instr uint64) Event {
+	return Event{Type: TypeReconfigure, Instr: instr,
+		Reconfigure: &ReconfigureEvent{Unit: unit, Setting: setting}}
+}
+
+// Promotion builds a hotspot-promotion event.
+func Promotion(method string, instr uint64) Event {
+	return Event{Type: TypePromotion, Instr: instr,
+		Promotion: &PromotionEvent{Method: method}}
+}
+
+// MachineReconfigure adapts a Sink to the machine's OnReconfigure
+// callback signature:
+//
+//	mach.OnReconfigure = telemetry.MachineReconfigure(sink)
+func MachineReconfigure(s Sink) func(unit string, setting int, instr uint64) {
+	return func(unit string, setting int, instr uint64) {
+		s.Emit(Reconfigure(unit, setting, instr))
+	}
+}
+
+// JSONL encodes events as JSON Lines: one self-contained object per
+// event, append-only, greppable, and stable under schema growth (new
+// optional fields only). Emit is safe for concurrent use, so one JSONL
+// sink can serve a whole parallel suite run.
+type JSONL struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	err error
+}
+
+// NewJSONL wraps a writer in a buffered JSONL sink. Call Flush (or
+// Close) before reading the output.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{buf: bufio.NewWriter(w)}
+}
+
+// Emit writes one event as a JSON line. Encoding errors are sticky and
+// reported by Flush/Close.
+func (s *JSONL) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.buf.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.buf.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close is Flush (the underlying writer's lifetime belongs to the
+// caller).
+func (s *JSONL) Close() error { return s.Flush() }
+
+// Buffer is an in-memory Sink for tests and programmatic consumers.
+// The zero value is ready to use; Emit is safe for concurrent use.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Count returns the number of recorded events of the given type (all
+// events when t is empty).
+func (b *Buffer) Count(t Type) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t == "" {
+		return len(b.events)
+	}
+	n := 0
+	for _, e := range b.events {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// multi fans every event out to several sinks.
+type multi []Sink
+
+// Multi returns a Sink delivering each event to every given sink in
+// order. Nil sinks are skipped; zero sinks yields a no-op sink.
+func Multi(sinks ...Sink) Sink {
+	var ms multi
+	for _, s := range sinks {
+		if s != nil {
+			ms = append(ms, s)
+		}
+	}
+	return ms
+}
+
+// Emit forwards to every sink.
+func (m multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// labeled stamps run identity onto every event before forwarding.
+type labeled struct {
+	sink   Sink
+	bench  string
+	scheme string
+}
+
+// WithRunLabels returns a Sink that sets Event.Bench and Event.Scheme
+// before forwarding, so events from parallel runs sharing one sink
+// remain attributable.
+func WithRunLabels(s Sink, bench, scheme string) Sink {
+	return labeled{sink: s, bench: bench, scheme: scheme}
+}
+
+// Emit stamps and forwards.
+func (l labeled) Emit(e Event) {
+	e.Bench = l.bench
+	e.Scheme = l.scheme
+	l.sink.Emit(e)
+}
+
+// Validate sanity-checks an event (used by tests and the fuzzing
+// harness): the payload pointer must match the declared type.
+func (e Event) Validate() error {
+	want := map[Type]bool{
+		TypeReconfigure: e.Reconfigure != nil,
+		TypePromotion:   e.Promotion != nil,
+		TypeTuneStep:    e.Tuner != nil,
+		TypeTuned:       e.Tuner != nil,
+		TypeRetune:      e.Tuner != nil,
+		TypePhase:       e.Phase != nil,
+		TypePhaseTuned:  e.Phase != nil,
+		TypeInterval:    e.Interval != nil,
+	}
+	ok, known := want[e.Type]
+	if !known {
+		return fmt.Errorf("telemetry: unknown event type %q", e.Type)
+	}
+	if !ok {
+		return fmt.Errorf("telemetry: %s event missing payload", e.Type)
+	}
+	return nil
+}

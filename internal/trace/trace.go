@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"acedo/internal/telemetry"
 )
 
 // Kind labels a timeline event.
@@ -48,6 +50,25 @@ func (r *Recorder) Promotion(name string, instr uint64) {
 	r.events = append(r.events, Event{Kind: KindPromotion, Instr: instr, Label: name})
 }
 
+var _ telemetry.Sink = (*Recorder)(nil)
+
+// Emit implements telemetry.Sink, making the recorder one consumer of
+// the unified event stream rather than a parallel mechanism:
+// reconfiguration and promotion events are recorded, every other event
+// type is ignored.
+func (r *Recorder) Emit(e telemetry.Event) {
+	switch e.Type {
+	case telemetry.TypeReconfigure:
+		if e.Reconfigure != nil {
+			r.Reconfig(e.Reconfigure.Unit, e.Reconfigure.Setting, e.Instr)
+		}
+	case telemetry.TypePromotion:
+		if e.Promotion != nil {
+			r.Promotion(e.Promotion.Method, e.Instr)
+		}
+	}
+}
+
 // Events returns the recorded events in arrival order.
 func (r *Recorder) Events() []Event { return r.events }
 
@@ -58,7 +79,8 @@ func (r *Recorder) Len() int { return len(r.events) }
 // divided into `columns` equal slices of `totalInstr` instructions and
 // each cell shows the setting active at the end of its slice (as the
 // setting's index within the unit's observed settings: 0 = smallest
-// seen). A '·' marks slices before the unit's first change.
+// seen, encoded '0'-'9' then 'a'-'z', clamped at 'z'). A '·' marks
+// slices before the unit's first change.
 func (r *Recorder) Timeline(w io.Writer, totalInstr uint64, columns int) {
 	if columns <= 0 || totalInstr == 0 {
 		fmt.Fprintln(w, "trace: empty timeline")
@@ -82,12 +104,12 @@ func (r *Recorder) Timeline(w io.Writer, totalInstr uint64, columns int) {
 	}
 	sort.Strings(units)
 
-	fmt.Fprintf(w, "adaptation timeline (%d columns × %d instructions each; digit = setting rank, 0 smallest)\n",
+	fmt.Fprintf(w, "adaptation timeline (%d columns × %d instructions each; 0-9a-z = setting rank, 0 smallest)\n",
 		columns, totalInstr/uint64(columns))
 	for _, u := range units {
 		ranks := settingRanks(settingsSeen[u])
 		evs := perUnit[u]
-		row := make([]byte, columns)
+		row := make([]rune, columns)
 		idx := 0
 		current := -1
 		for c := 0; c < columns; c++ {
@@ -97,12 +119,12 @@ func (r *Recorder) Timeline(w io.Writer, totalInstr uint64, columns int) {
 				idx++
 			}
 			if current < 0 {
-				row[c] = '.'
+				row[c] = '·'
 			} else {
-				row[c] = byte('0' + ranks[current])
+				row[c] = rankRune(ranks[current])
 			}
 		}
-		fmt.Fprintf(w, "%-4s |%s| %d reconfigurations\n", u, row, len(evs))
+		fmt.Fprintf(w, "%-4s |%s| %d reconfigurations\n", u, string(row), len(evs))
 	}
 
 	var promos int
@@ -113,6 +135,21 @@ func (r *Recorder) Timeline(w io.Writer, totalInstr uint64, columns int) {
 	}
 	fmt.Fprintf(w, "%d hotspot promotions, %d reconfigurations total\n",
 		promos, r.Len()-promos)
+}
+
+// rankRune encodes a setting rank as one timeline character: '0'-'9'
+// for ranks 0-9, 'a'-'z' for 10-35, clamped at 'z' beyond (a unit with
+// more than 36 observed settings saturates rather than emitting
+// garbage bytes).
+func rankRune(rank int) rune {
+	switch {
+	case rank < 10:
+		return rune('0' + rank)
+	case rank < 36:
+		return rune('a' + rank - 10)
+	default:
+		return 'z'
+	}
 }
 
 // settingRanks maps each observed setting value to its ascending rank.

@@ -3,6 +3,8 @@ package trace
 import (
 	"strings"
 	"testing"
+
+	"acedo/internal/telemetry"
 )
 
 func TestRecorderAccumulates(t *testing.T) {
@@ -52,7 +54,7 @@ func TestTimelineBeforeFirstChange(t *testing.T) {
 	r.Reconfig("L2", 131072, 900)
 	var sb strings.Builder
 	r.Timeline(&sb, 1000, 10)
-	if !strings.Contains(sb.String(), "........00") {
+	if !strings.Contains(sb.String(), "········00") {
 		t.Errorf("slices before the first change should be dots:\n%s", sb.String())
 	}
 }
@@ -63,6 +65,62 @@ func TestTimelineEmpty(t *testing.T) {
 	r.Timeline(&sb, 0, 10)
 	if !strings.Contains(sb.String(), "empty") {
 		t.Error("zero-length run should render as empty")
+	}
+}
+
+func TestTimelineRanksPastNine(t *testing.T) {
+	// A unit with 12 observed settings used to render ranks 10 and 11
+	// as the garbage bytes ':' and ';'; they must encode as 'a', 'b'.
+	var r Recorder
+	for i := 0; i < 12; i++ {
+		r.Reconfig("IQ", (i+1)*16, uint64(100*(i+1)))
+	}
+	var sb strings.Builder
+	r.Timeline(&sb, 1200, 12)
+	out := sb.String()
+	var row string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "IQ") {
+			row = line
+		}
+	}
+	if row == "" {
+		t.Fatalf("missing IQ row:\n%s", out)
+	}
+	if !strings.Contains(row, "a") || !strings.Contains(row, "b") {
+		t.Errorf("ranks 10/11 should encode as 'a'/'b':\n%s", row)
+	}
+	if strings.ContainsAny(row, ":;<=>?") {
+		t.Errorf("garbage rank bytes leaked into timeline:\n%s", row)
+	}
+}
+
+func TestRankRune(t *testing.T) {
+	cases := map[int]rune{0: '0', 9: '9', 10: 'a', 35: 'z', 36: 'z', 100: 'z'}
+	for rank, want := range cases {
+		if got := rankRune(rank); got != want {
+			t.Errorf("rankRune(%d) = %q, want %q", rank, got, want)
+		}
+	}
+}
+
+func TestRecorderIsTelemetrySink(t *testing.T) {
+	var r Recorder
+	var sink telemetry.Sink = &r
+	sink.Emit(telemetry.Reconfigure("L1D", 32768, 100))
+	sink.Emit(telemetry.Promotion("hot", 200))
+	// Events of other types are ignored, not recorded.
+	sink.Emit(telemetry.Event{Type: telemetry.TypeInterval, Instr: 300,
+		Interval: &telemetry.IntervalMetrics{Seq: 1}})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (interval events ignored)", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != KindReconfig || evs[0].Unit != "L1D" || evs[0].Setting != 32768 || evs[0].Instr != 100 {
+		t.Errorf("reconfig event = %+v", evs[0])
+	}
+	if evs[1].Kind != KindPromotion || evs[1].Label != "hot" {
+		t.Errorf("promotion event = %+v", evs[1])
 	}
 }
 

@@ -55,6 +55,9 @@ func NewEngine(prog *program.Program, mach *machine.Machine, aos *AOS) (*Engine,
 	if aos == nil {
 		return nil, fmt.Errorf("vm: nil AOS")
 	}
+	if err := aos.params.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		prog:   prog,
 		mach:   mach,
@@ -84,7 +87,7 @@ func (e *Engine) push(id program.MethodID, retReg uint8) {
 	f.entryInstr = e.mach.Instructions()
 	f.idx = 0
 	f.block = f.m.Blocks[0]
-	e.mach.Fetch(f.block.PC)
+	e.mach.Fetch(f.block.PC, len(f.block.Instrs))
 	if e.blockListener != nil {
 		e.blockListener(f.block.PC, len(f.block.Instrs))
 	}
@@ -94,7 +97,7 @@ func (e *Engine) push(id program.MethodID, retReg uint8) {
 func (e *Engine) enterBlock(f *frame, idx int) {
 	f.block = f.m.Blocks[idx]
 	f.idx = 0
-	e.mach.Fetch(f.block.PC)
+	e.mach.Fetch(f.block.PC, len(f.block.Instrs))
 	if e.blockListener != nil {
 		e.blockListener(f.block.PC, len(f.block.Instrs))
 	}

@@ -6,6 +6,8 @@
 // profiling / configuration / sampling code).
 package vm
 
+import "fmt"
+
 // Params configures the adaptive optimization system.
 type Params struct {
 	// SampleInterval is the sampling profiler period in
@@ -26,6 +28,20 @@ type Params struct {
 
 	// MaxCallDepth bounds the frame stack.
 	MaxCallDepth int
+}
+
+// Validate checks parameter sanity. The engine validates at
+// construction: a zero-value Params would otherwise panic on the
+// initial frame push (MaxCallDepth 0 allocates an empty frame stack)
+// and sample on every instruction (SampleInterval 0).
+func (p Params) Validate() error {
+	if p.MaxCallDepth < 1 {
+		return fmt.Errorf("vm: MaxCallDepth %d must be at least 1", p.MaxCallDepth)
+	}
+	if p.SampleInterval == 0 {
+		return fmt.Errorf("vm: SampleInterval must be positive")
+	}
+	return nil
 }
 
 // DefaultParams returns the scaled default parameters (scale divisor

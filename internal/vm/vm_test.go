@@ -35,6 +35,35 @@ func newEnv(t *testing.T, prog *program.Program, params Params) (*Engine, *AOS, 
 	return eng, aos, mach
 }
 
+func TestNewEngineRejectsInvalidParams(t *testing.T) {
+	prog := sumProgram(4)
+	mach, err := machine.New(machine.PaperConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A zero-value Params used to panic with index-out-of-range on
+	// the initial frame push; it must be a descriptive error.
+	aos := NewAOS(Params{}, mach, prog)
+	if _, err := NewEngine(prog, mach, aos); err == nil ||
+		!strings.Contains(err.Error(), "MaxCallDepth") {
+		t.Errorf("zero-value Params: err = %v, want MaxCallDepth error", err)
+	}
+
+	p := testParams()
+	p.SampleInterval = 0
+	aos = NewAOS(p, mach, prog)
+	if _, err := NewEngine(prog, mach, aos); err == nil ||
+		!strings.Contains(err.Error(), "SampleInterval") {
+		t.Errorf("zero SampleInterval: err = %v, want SampleInterval error", err)
+	}
+
+	aos = NewAOS(testParams(), mach, prog)
+	if _, err := NewEngine(prog, mach, aos); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
 // sumProgram computes sum(1..n) in a loop and stores it to mem[0].
 func sumProgram(n int64) *program.Program {
 	b := program.NewBuilder("sum")
