@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-snapshot tables vet fmt fmt-check cover fuzz ci clean
+.PHONY: all build test test-short bench bench-snapshot tables vet fmt fmt-check cover fuzz chaos ci clean
 
 all: build test
 
@@ -51,6 +51,14 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzEngineVsReference -fuzztime=20s ./internal/vm
 	$(GO) test -fuzz=FuzzCacheVsReference -fuzztime=20s ./internal/cache
+	$(GO) test -fuzz=FuzzDetector -fuzztime=20s ./internal/bbv
+
+# Fault-injection and watchdog tests (see DESIGN.md §8), under the
+# race detector: gate rejection/deferral, resize stalls, sample
+# drop/duplication, BBV corruption, panic isolation, deadlines, and
+# the oscillation watchdogs.
+chaos:
+	$(GO) test -race -run Chaos -count=1 ./...
 
 # Everything the CI workflow runs, locally.
 ci: build vet fmt-check
@@ -58,6 +66,8 @@ ci: build vet fmt-check
 	$(GO) test -fuzz=FuzzEngineVsReference -fuzztime=10s -run=^$$ ./internal/vm
 	$(GO) test -fuzz=FuzzEngineUnderManagement -fuzztime=10s -run=^$$ ./internal/vm
 	$(GO) test -fuzz=FuzzCacheVsReference -fuzztime=10s -run=^$$ ./internal/cache
+	$(GO) test -fuzz=FuzzDetector -fuzztime=10s -run=^$$ ./internal/bbv
+	$(MAKE) chaos
 
 clean:
 	$(GO) clean ./...

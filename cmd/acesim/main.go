@@ -6,6 +6,7 @@
 //	acesim -bench compress -scheme hotspot [-scale 10] [-max 0]
 //	acesim -bench db -scheme all
 //	acesim -bench jess -scheme hotspot -events run.jsonl -interval 50000
+//	acesim -bench jess -scheme hotspot -faults plan.json -deadline 60s
 //	acesim -bench mpeg -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -17,6 +18,7 @@ import (
 	"runtime/pprof"
 
 	"acedo/internal/experiment"
+	"acedo/internal/fault"
 	"acedo/internal/telemetry"
 	"acedo/internal/workload"
 )
@@ -34,6 +36,8 @@ func run() int {
 	loops := flag.Int("loops", 0, "override the benchmark's main loop count (0 = default)")
 	events := flag.String("events", "", "write JSONL telemetry events to this file (\"-\" = stdout)")
 	interval := flag.Uint64("interval", 0, "interval-metric sampling period in retired instructions (0 = the L1D reconfiguration interval)")
+	faults := flag.String("faults", "", "arm the fault-injection plan in this JSON file (chaos testing)")
+	deadline := flag.Duration("deadline", 0, "wall-clock limit per run, e.g. 60s (0 = unbounded)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -71,6 +75,15 @@ func run() int {
 	}
 	opt.MaxInstr = *maxInstr
 	opt.TelemetryInterval = *interval
+	opt.Deadline = *deadline
+	if *faults != "" {
+		plan, err := fault.LoadPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
+			return 1
+		}
+		opt.Faults = plan
+	}
 
 	var eventSink *telemetry.JSONL
 	if *events != "" {

@@ -93,10 +93,20 @@ func run() int {
 	start := time.Now()
 	res, err := experiment.Collect(opt)
 	if err != nil {
+		// Collect isolates failures: render whatever completed, then
+		// exit nonzero so scripts still see the failure.
 		fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
-		return 1
+		if len(res.Comparisons) == 0 {
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "acetables: rendering %d completed benchmark(s)\n",
+			len(res.Comparisons))
 	}
 	fmt.Fprintf(os.Stderr, "acetables: 21 simulations in %.1fs\n", time.Since(start).Seconds())
+	code := 0
+	if err != nil {
+		code = 1
+	}
 
 	w := os.Stdout
 	if *jsonOut != "" {
@@ -104,11 +114,11 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
 			return 1
 		}
-		return 0
+		return code
 	}
 	if *threeCU {
 		res.ExtensionThreeCU(w)
-		return 0
+		return code
 	}
 	switch {
 	case *table == 1:
@@ -135,7 +145,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "acetables: no such table/figure\n")
 		return 2
 	}
-	return 0
+	return code
 }
 
 // writeMemProfile dumps a post-GC heap profile, if requested.

@@ -25,8 +25,32 @@ type Unit struct {
 
 	apply func(setting int, nowInstr uint64)
 
+	// gate, when non-nil, can veto or defer otherwise-acceptable
+	// requests (the fault-injection harness); pending holds a
+	// deferred target index, -1 when none.
+	gate    Gate
+	pending int
+
 	stats UnitStats
 }
+
+// GateOutcome is a Gate's verdict on one reconfiguration request.
+type GateOutcome int
+
+const (
+	// GateAllow lets the request proceed normally.
+	GateAllow GateOutcome = iota
+	// GateReject drops the request without changing the unit.
+	GateReject
+	// GateDefer holds the request back; the unit re-issues it at
+	// its next Request call (where the usual guards apply again).
+	GateDefer
+)
+
+// Gate intercepts requests that passed the unit's own guards —
+// the hardware hook the fault-injection harness attaches to. It must
+// not call back into the Unit.
+type Gate func(unit string, target int, nowInstr uint64) GateOutcome
 
 // UnitStats counts reconfiguration requests.
 type UnitStats struct {
@@ -39,6 +63,10 @@ type UnitStats struct {
 	Ignored uint64
 	// Redundant counts requests for the already-active setting.
 	Redundant uint64
+	// Rejected and Deferred count requests vetoed or held back by
+	// an installed Gate (zero without one).
+	Rejected uint64
+	Deferred uint64
 }
 
 // NewUnit constructs a configurable unit.
@@ -69,6 +97,7 @@ func NewUnit(name string, settings []int, startIndex int, interval uint64, apply
 		current:  startIndex,
 		interval: interval,
 		apply:    apply,
+		pending:  -1,
 	}
 	u.apply(settings[startIndex], 0)
 	return u, nil
@@ -114,14 +143,25 @@ func (u *Unit) Interval() uint64 { return u.interval }
 // Stats returns a copy of the request counters.
 func (u *Unit) Stats() UnitStats { return u.stats }
 
+// SetGate installs (or, with nil, removes) a request gate. Install
+// before running; the gate observes only requests that survive the
+// unit's own redundancy and interval guards.
+func (u *Unit) SetGate(g Gate) { u.gate = g }
+
 // Request asks the CU to switch to setting index i at instruction time
 // nowInstr (the special configuration instruction). It returns true if
 // the configuration changed. Requests for the active setting are
 // redundant no-ops; requests arriving within the reconfiguration
 // interval of the last accepted change are ignored by the hardware
-// guard counter.
+// guard counter. An installed Gate can additionally reject or defer a
+// request that passed both guards; a deferred request is re-issued
+// (through the guards, but not the gate) at the next Request call.
 func (u *Unit) Request(i int, nowInstr uint64) bool {
 	u.stats.Requests++
+	if p := u.pending; p >= 0 {
+		u.pending = -1
+		u.commit(p, nowInstr)
+	}
 	if i < 0 || i >= len(u.settings) {
 		// A malformed register write selects nothing; treat as
 		// ignored rather than panicking the "hardware".
@@ -136,12 +176,39 @@ func (u *Unit) Request(i int, nowInstr uint64) bool {
 		u.stats.Ignored++
 		return false
 	}
+	if u.gate != nil {
+		switch u.gate(u.name, i, nowInstr) {
+		case GateReject:
+			u.stats.Rejected++
+			return false
+		case GateDefer:
+			u.stats.Deferred++
+			u.pending = i
+			return false
+		}
+	}
+	u.doApply(i, nowInstr)
+	return true
+}
+
+// commit re-issues a deferred request through the guards (but not the
+// gate, so one fault cannot defer forever).
+func (u *Unit) commit(i int, nowInstr uint64) {
+	if i == u.current {
+		return
+	}
+	if u.everSet && nowInstr-u.lastAt < u.interval {
+		return
+	}
+	u.doApply(i, nowInstr)
+}
+
+func (u *Unit) doApply(i int, nowInstr uint64) {
 	u.current = i
 	u.lastAt = nowInstr
 	u.everSet = true
 	u.stats.Applied++
 	u.apply(u.settings[i], nowInstr)
-	return true
 }
 
 // Combinations enumerates every combinatorial configuration of the

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"acedo/internal/ace"
+	"acedo/internal/fault"
 	"acedo/internal/machine"
 	"acedo/internal/stats"
 	"acedo/internal/telemetry"
@@ -54,6 +55,17 @@ type Params struct {
 	// aggressive BBV variant the paper's Section 4.1 deliberately
 	// omits). Off by default, matching the paper's comparator.
 	UsePredictor bool
+
+	// OscillationWindow is the temporal oscillation watchdog: after
+	// this many consecutive interval boundaries that each changed
+	// phase (the detector thrashing, e.g. under signature
+	// corruption), the manager degrades — it pins the units to the
+	// full-size safe configuration, stops tuning, and emits one
+	// TypeDegraded event. Phase classification continues for the
+	// run's statistics. 0 disables the watchdog. The default (24)
+	// sits above the longest flip streak any suite benchmark
+	// exhibits (15, javac), so healthy runs never trip it.
+	OscillationWindow int
 }
 
 // DefaultParams returns the paper's BBV configuration at the given
@@ -69,6 +81,8 @@ func DefaultParams(scaleDiv uint64) Params {
 		MatchThreshold: 0.40,
 		StableRun:      2,
 		PerfThreshold:  0.02,
+
+		OscillationWindow: 24,
 	}
 }
 
@@ -88,6 +102,9 @@ func (p Params) Validate() error {
 	}
 	if p.StableRun < 2 {
 		return fmt.Errorf("bbv: stable run %d must be at least 2", p.StableRun)
+	}
+	if p.OscillationWindow < 0 {
+		return fmt.Errorf("bbv: oscillation window %d must be non-negative", p.OscillationWindow)
 	}
 	return nil
 }
@@ -168,6 +185,12 @@ type Manager struct {
 	runLength  int
 	intervalNo uint64
 
+	// Oscillation watchdog state: consecutive phase-flip boundaries
+	// and whether the manager has degraded to the pinned safe
+	// configuration.
+	flipRun  int
+	degraded bool
+
 	// What the current (in-flight) interval was configured for.
 	appliedKind  appliedKind
 	appliedPhase int
@@ -196,6 +219,7 @@ type ManagerStats struct {
 	Reconfigs           uint64 // accepted best-config unit changes
 	CoveredInstr        uint64 // instructions in intervals run under a tuned phase's best config
 	IntervalsInTuned    uint64 // intervals whose phase eventually finished tuning (computed at Report)
+	CorruptSamples      uint64 // interval measurements discarded by the NaN/Inf guard
 }
 
 // NewManager constructs the BBV manager bound to a machine. Install
@@ -263,6 +287,23 @@ func (m *Manager) Params() Params { return m.params }
 // remove it. Install before running the engine.
 func (m *Manager) SetSink(s telemetry.Sink) { m.sink = s }
 
+// faultable is implemented by detectors that accept fault injection
+// (BBVDetector's signature-corruption point).
+type faultable interface {
+	SetFaults(*fault.Injector)
+}
+
+// SetFaults forwards a fault injector to the detector when it supports
+// injection. Install before running the engine.
+func (m *Manager) SetFaults(inj *fault.Injector) {
+	if f, ok := m.det.(faultable); ok {
+		f.SetFaults(inj)
+	}
+}
+
+// Degraded reports whether the oscillation watchdog tripped.
+func (m *Manager) DegradedState() bool { return m.degraded }
+
 // configValues translates a combination index into setting values in
 // the manager's unit order.
 func (m *Manager) configValues(pos int) []int {
@@ -319,13 +360,14 @@ func (m *Manager) boundary() {
 	}
 	ph := m.phases[phaseID]
 	ph.Intervals++
-	if d.Instr > 0 {
+	if d.Instr > 0 && stats.Finite(d.IPC()) {
 		ph.IPCW.Add(d.IPC())
 	}
 
 	// Run bookkeeping (retrospective stability for Figure 1).
 	if phaseID == m.lastPhase {
 		m.runLength++
+		m.flipRun = 0
 		if m.runLength == m.params.StableRun {
 			// The whole run just became stable, including the
 			// earlier intervals.
@@ -336,6 +378,9 @@ func (m *Manager) boundary() {
 			ph.StableIntervals++
 		}
 	} else {
+		if m.lastPhase >= 0 {
+			m.flipRun++
+		}
 		m.lastPhase = phaseID
 		m.runLength = 1
 	}
@@ -357,10 +402,18 @@ func (m *Manager) boundary() {
 	switch m.appliedKind {
 	case appliedTest:
 		if !m.warmup && m.appliedPhase == phaseID && !ph.Done && m.appliedPos == ph.next && d.Instr > 0 {
+			epi := (d.L1DnJ + d.L2nJ) / float64(d.Instr)
+			if !stats.Finite(d.IPC()) || !stats.Finite(epi) {
+				// A corrupted measurement must never enter the
+				// tuner's acceptance math; re-test the
+				// configuration next stable interval.
+				m.stats.CorruptSamples++
+				break
+			}
 			ph.meas[ph.next] = measurement{
 				valid: true,
 				ipc:   d.IPC(),
-				epi:   (d.L1DnJ + d.L2nJ) / float64(d.Instr),
+				epi:   epi,
 			}
 			m.stats.Tunings++
 			ref := ph.meas[0]
@@ -388,12 +441,39 @@ func (m *Manager) boundary() {
 		}
 	}
 
+	// Oscillation watchdog: a long enough streak of phase-flipping
+	// boundaries means the detector is thrashing (corrupted
+	// signatures, pathological workload) and every reconfiguration
+	// it drives is wasted work. Degrade once: pin the full-size
+	// safe configuration and stop adapting for the rest of the run.
+	now := m.mach.Instructions()
+	if !m.degraded && m.params.OscillationWindow > 0 && m.flipRun >= m.params.OscillationWindow {
+		m.degraded = true
+		if m.sink != nil {
+			m.sink.Emit(telemetry.Event{
+				Type:  telemetry.TypeDegraded,
+				Instr: now,
+				Degraded: &telemetry.DegradedEvent{
+					Scope:  "phase",
+					Phase:  phaseID,
+					Flips:  m.flipRun,
+					Config: m.configValues(0),
+				},
+			})
+		}
+	}
+	if m.degraded {
+		m.applyConfig(m.combos[0], now, false)
+		m.appliedKind = appliedNone
+		m.appliedPhase = -1
+		return
+	}
+
 	// Configure for the next interval. Without the predictor the
 	// scheme assumes phase persistence (the paper's Section 4.1
 	// comparator); with it, the predicted phase's configuration is
 	// applied instead — including from a recurring phase's first
 	// interval.
-	now := m.mach.Instructions()
 	nextID := phaseID
 	if m.pred != nil {
 		if p := m.pred.Predict(phaseID, m.runLength); p >= 0 && p < len(m.phases) {
@@ -503,6 +583,12 @@ type Report struct {
 	Reconfigs            uint64
 	Coverage             float64 // covered instr / total instr
 	TransitionalInterval uint64
+	// Degraded reports an oscillation-watchdog trip: the manager
+	// pinned the full-size configuration and stopped adapting.
+	Degraded bool
+	// CorruptSamples counts interval measurements the NaN/Inf guard
+	// discarded.
+	CorruptSamples uint64
 	// Predictor reports the next-phase predictor's outcomes (zero
 	// when the predictor is disabled).
 	Predictor PredictorStats
@@ -516,6 +602,8 @@ func (m *Manager) Report() Report {
 		Tunings:              m.stats.Tunings,
 		Reconfigs:            m.stats.Reconfigs,
 		TransitionalInterval: m.stats.TransitionalIntervs,
+		Degraded:             m.degraded,
+		CorruptSamples:       m.stats.CorruptSamples,
 	}
 	if m.stats.Intervals > 0 {
 		r.StablePct = float64(m.stats.StableIntervals) / float64(m.stats.Intervals)

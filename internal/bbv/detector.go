@@ -1,5 +1,7 @@
 package bbv
 
+import "acedo/internal/fault"
+
 // BBVDetector is the Basic Block Vector phase detector (Sherwood et
 // al.), configured per the paper's Section 4.1: an accumulator table
 // of 32 uncompressed 24-bit buckets indexed by basic-block PC bits
@@ -13,6 +15,11 @@ type BBVDetector struct {
 
 	acc        []uint32
 	signatures [][]float64
+
+	// faults, when non-nil, may flip accumulator bits at interval
+	// boundaries — corrupting the interval vector and any signature
+	// stored from it (the bbv-signature injection point).
+	faults *fault.Injector
 }
 
 var _ Detector = (*BBVDetector)(nil)
@@ -30,6 +37,10 @@ func NewBBVDetector(params Params) *BBVDetector {
 // Name identifies the detector.
 func (d *BBVDetector) Name() string { return "bbv" }
 
+// SetFaults installs (or, with nil, removes) a fault injector for the
+// signature-corruption point.
+func (d *BBVDetector) SetFaults(inj *fault.Injector) { d.faults = inj }
+
 // Accumulate charges the executed block to a bucket selected by its
 // PC; counters saturate at the configured width.
 func (d *BBVDetector) Accumulate(pc uint64, instrs int) {
@@ -46,6 +57,9 @@ func (d *BBVDetector) Accumulate(pc uint64, instrs int) {
 // threshold wins, otherwise a new phase is created with this vector as
 // its signature.
 func (d *BBVDetector) Boundary() int {
+	if d.faults != nil {
+		d.faults.CorruptBBV(d.acc)
+	}
 	vec := d.normalize()
 	for i := range d.acc {
 		d.acc[i] = 0

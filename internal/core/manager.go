@@ -43,6 +43,13 @@ type measure struct {
 }
 
 func (ms *measure) add(ipc, epi float64) {
+	if !stats.Finite(ipc) || !stats.Finite(epi) {
+		// A corrupted (NaN/Inf) sample must never enter the
+		// acceptance math: it would poison every later mean and
+		// make gateFails undecidable. Drop it; the descent simply
+		// needs one more clean invocation.
+		return
+	}
 	ms.count++
 	ms.ipcSum += ipc
 	ms.ipcSqSum += ipc * ipc
@@ -121,6 +128,10 @@ type Hotspot struct {
 	TunePasses int
 	// Retunes counts re-entries into tuning triggered by sampling.
 	Retunes int
+	// Degraded marks a hotspot tripped by the oscillation watchdog
+	// (Params.MaxRetunes): it is pinned to the full-size safe
+	// configuration and no longer re-tunes.
+	Degraded bool
 
 	entryStack  []invEntry
 	sinceSample uint64
@@ -179,6 +190,7 @@ type Manager struct {
 	byMethod   map[program.MethodID]*Hotspot
 	unmanaged  int
 	warmStarts int
+	degraded   int
 
 	// sink, when non-nil, observes tuner decisions (completed
 	// configuration measurements, selections, re-tunes).
@@ -439,7 +451,7 @@ func (m *Manager) onExit(h *Hotspot) {
 
 	d := machine.Delta(e.snap, m.mach.Snapshot())
 	ipc := d.IPC()
-	if d.Instr > 0 {
+	if d.Instr > 0 && stats.Finite(ipc) {
 		h.IPCW.Add(ipc)
 	}
 
@@ -452,7 +464,7 @@ func (m *Manager) onExit(h *Hotspot) {
 		if h.sinceSample >= m.params.SamplePeriod {
 			h.sinceSample = 0
 			m.aos.ChargeOverhead(m.params.SampleOverhead)
-			if h.TunedIPC > 0 && relDiff(ipc, h.TunedIPC) > m.params.RetuneThreshold {
+			if h.TunedIPC > 0 && stats.Finite(ipc) && relDiff(ipc, h.TunedIPC) > m.params.RetuneThreshold {
 				// Require two consecutive drifting samples
 				// before re-tuning so one noisy invocation
 				// cannot restart the descent.
@@ -588,9 +600,18 @@ func (m *Manager) gateFails(ref, ms measure) bool {
 }
 
 // retune re-enters the tuning state after the sampling code detects a
-// behaviour change (paper Section 3.3; rare by design).
+// behaviour change (paper Section 3.3; rare by design). The
+// oscillation watchdog bounds it: a hotspot that keeps drifting —
+// a workload flipping behaviour every sample window — would otherwise
+// thrash the hardware with endless descents, so once its re-tunes
+// reach Params.MaxRetunes it degrades to the full-size safe
+// configuration instead.
 func (m *Manager) retune(h *Hotspot) {
 	h.Retunes++
+	if m.params.MaxRetunes > 0 && h.Retunes >= m.params.MaxRetunes {
+		m.degrade(h)
+		return
+	}
 	m.emitTuner(telemetry.TypeRetune, h, telemetry.TunerEvent{})
 	h.st = stateTuning
 	h.next = 0
@@ -601,6 +622,43 @@ func (m *Manager) retune(h *Hotspot) {
 		h.meas[i] = measure{}
 	}
 	m.installTuningHooks(h)
+}
+
+// degrade pins an oscillating hotspot to the full-size safe
+// configuration (configs[0], every unit at its largest setting),
+// disables its drift sampling, and emits one TypeDegraded event. The
+// run continues — graceful degradation trades the hotspot's energy
+// savings for stability.
+func (m *Manager) degrade(h *Hotspot) {
+	if h.Degraded {
+		return
+	}
+	h.Degraded = true
+	h.st = stateConfigured
+	h.bestPos = 0
+	h.passive = false
+	h.driftCount = 0
+	// TunedIPC 0 disables the configured-state drift comparison, so
+	// a degraded hotspot can never re-enter tuning.
+	h.TunedIPC = 0
+	m.degraded++
+	if m.sink != nil {
+		m.sink.Emit(telemetry.Event{
+			Type:  telemetry.TypeDegraded,
+			Instr: m.mach.Instructions(),
+			Degraded: &telemetry.DegradedEvent{
+				Scope:   "hotspot",
+				Method:  h.Prof.Name,
+				Class:   h.Class.String(),
+				Retunes: h.Retunes,
+				Config:  h.configValues(0),
+			},
+		})
+	}
+	// Pin immediately; later entries re-request through the
+	// configured hooks if the interval guard holds this one back.
+	h.requestConfig(h.configs[0], m.mach.Instructions())
+	m.installConfiguredHooks(h)
 }
 
 func relDiff(a, b float64) float64 {
@@ -651,6 +709,10 @@ type Report struct {
 	// Retunes counts sampling-triggered re-tunings across hotspots.
 	Retunes int
 
+	// Degraded counts hotspots tripped by the oscillation watchdog
+	// and pinned to the full-size safe configuration.
+	Degraded int
+
 	// WarmStarts counts hotspots configured directly from a
 	// previous run's database (Params.WarmStart).
 	WarmStarts int
@@ -662,6 +724,7 @@ func (m *Manager) Report() Report {
 	r := Report{
 		TotalInstr: m.mach.Instructions(),
 		Unmanaged:  m.unmanaged,
+		Degraded:   m.degraded,
 		WarmStarts: m.warmStarts,
 	}
 	r.Micro = m.classReport(&m.micro)

@@ -77,6 +77,14 @@ type Params struct {
 	// "tuned"). 0 disables the cap.
 	MaxTuneAttempts int
 
+	// MaxRetunes is the oscillation watchdog: a hotspot whose
+	// sampling-triggered re-tunes reach this count is degraded —
+	// pinned to the full-size safe configuration with drift
+	// sampling disabled — instead of descending again, so an
+	// oscillating workload cannot thrash the hardware indefinitely.
+	// 0 disables the watchdog.
+	MaxRetunes int
+
 	// WarmStart, if non-nil, is a previous run's exported DO
 	// database: a promoted hotspot found in it is configured
 	// immediately with the saved configuration, skipping the
@@ -112,6 +120,7 @@ func DefaultParams(scaleDiv uint64) Params {
 		SamplePeriod:        48,
 		MeasureSamples:      3,
 		MaxTuneAttempts:     48,
+		MaxRetunes:          4,
 		TuneEntryOverhead:   24,
 		ProfileExitOverhead: 12,
 		ConfigOverhead:      8,
@@ -136,6 +145,9 @@ func (p Params) Validate() error {
 	}
 	if p.MeasureSamples <= 0 {
 		return fmt.Errorf("core: measure samples must be positive")
+	}
+	if p.MaxRetunes < 0 {
+		return fmt.Errorf("core: max retunes %d must be non-negative", p.MaxRetunes)
 	}
 	return nil
 }

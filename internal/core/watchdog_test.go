@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"acedo/internal/program"
+	"acedo/internal/telemetry"
+)
+
+// oscillatingProgram builds a workload whose leaf flips every segment
+// between a 2 KB walk (fits any cache: high IPC) and a 128 KB walk
+// (thrashes even the largest 64 KB L1D: low IPC under *every*
+// configuration). No configuration reconciles the two behaviours, so
+// the configured-state sampler detects drift at every segment
+// boundary and keeps re-entering tuning — the pathological
+// oscillation the watchdog exists for.
+func oscillatingProgram(segments, perSegment int64) *program.Program {
+	b := program.NewBuilder("oscillate")
+	const boundCell, repsCell = 0, 1
+	b.SetMemWords(16384 + 128)
+	main := b.NewMethod("main")
+	leaf := b.NewMethod("leaf")
+
+	le := leaf.NewBlock()
+	le.Const(4, 128) // data base
+	le.Const(13, boundCell)
+	le.Load(6, 13, 0) // walk bound from memory
+	le.Const(14, repsCell)
+	le.Load(12, 14, 0) // rep count from memory
+	le.Const(5, 0)
+	le.Const(11, 0)
+	rep := leaf.NewBlock()
+	rep.Const(5, 0)
+	loop := leaf.NewBlock()
+	loop.Add(7, 4, 5)
+	loop.Load(8, 7, 0)
+	loop.Add(9, 9, 8)
+	loop.AddI(5, 5, 1)
+	loop.CmpLt(10, 5, 6)
+	loop.Br(10, loop.Index())
+	tl := leaf.NewBlock()
+	tl.AddI(11, 11, 1)
+	tl.CmpLt(10, 11, 12)
+	tl.Br(10, rep.Index())
+	leaf.NewBlock().Ret(9)
+
+	me := main.NewBlock()
+	me.Const(13, boundCell)
+	me.Const(14, repsCell)
+	me.Const(20, 0) // segment counter
+	me.Const(21, segments)
+	seg := main.NewBlock()
+	seg.AndI(25, 20, 1)     // seg % 2
+	seg.MulI(22, 25, 16128) // 0 or 16128 words
+	seg.AddI(22, 22, 256)   // bound: 256 (2 KB) or 16384 (128 KB)
+	seg.Store(22, 13, 0)
+	seg.MulI(26, 25, -3)
+	seg.AddI(26, 26, 4) // reps: 4 (small walk) or 1 (big walk)
+	seg.Store(26, 14, 0)
+	seg.Const(16, 0)
+	seg.Const(17, perSegment)
+	inner := main.NewBlock()
+	inner.Call(15, leaf.ID())
+	inner.AddI(16, 16, 1)
+	inner.CmpLt(18, 16, 17)
+	inner.Br(18, inner.Index())
+	tail := main.NewBlock()
+	tail.AddI(20, 20, 1)
+	tail.CmpLt(18, 20, 21)
+	tail.Br(18, seg.Index())
+	main.NewBlock().Halt()
+	b.SetEntry(main.ID())
+	return b.MustBuild()
+}
+
+// TestChaosRetuneWatchdogDegrades is the oscillation-watchdog contract:
+// a workload that keeps flipping behaviour must trip MaxRetunes, pin
+// the hotspot to the full-size safe configuration, and emit exactly
+// one TypeDegraded event — not one per further oscillation.
+func TestChaosRetuneWatchdogDegrades(t *testing.T) {
+	p := DefaultParams(10)
+	p.RetuneThreshold = 0.05
+	p.SamplePeriod = 8
+	p.MaxRetunes = 2
+	e := newEnv(t, oscillatingProgram(8, 150), p)
+	var buf telemetry.Buffer
+	e.mgr.SetSink(&buf)
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := e.mgr.Hotspots()
+	if len(hs) != 1 {
+		t.Fatalf("hotspots = %d, want 1", len(hs))
+	}
+	h := hs[0]
+	if !h.Degraded {
+		t.Fatalf("watchdog did not trip: retunes=%d", h.Retunes)
+	}
+	if h.Retunes < p.MaxRetunes {
+		t.Errorf("retunes = %d, want ≥ MaxRetunes (%d)", h.Retunes, p.MaxRetunes)
+	}
+	if h.State() != "configured" {
+		t.Errorf("degraded hotspot state = %s, want configured", h.State())
+	}
+	if got := e.mach.L1DUnit.Setting(h.BestConfig()[0]); got != 64*1024 {
+		t.Errorf("pinned L1D = %d, want the full-size 64K", got)
+	}
+	if got := buf.Count(telemetry.TypeDegraded); got != 1 {
+		t.Errorf("TypeDegraded events = %d, want exactly 1", got)
+	}
+	for _, ev := range buf.Events() {
+		if ev.Type != telemetry.TypeDegraded {
+			continue
+		}
+		if ev.Degraded.Scope != "hotspot" || ev.Degraded.Method != "leaf" {
+			t.Errorf("degraded event = %+v, want scope=hotspot method=leaf", ev.Degraded)
+		}
+		if ev.Degraded.Retunes != p.MaxRetunes {
+			t.Errorf("degraded at retunes=%d, want %d", ev.Degraded.Retunes, p.MaxRetunes)
+		}
+	}
+	if rep := e.mgr.Report(); rep.Degraded != 1 {
+		t.Errorf("report degraded = %d, want 1", rep.Degraded)
+	}
+}
+
+// TestChaosWatchdogDisabled pins the zero value: MaxRetunes 0 keeps
+// the pre-watchdog behaviour — unlimited retunes, no degradation.
+func TestChaosWatchdogDisabled(t *testing.T) {
+	p := DefaultParams(10)
+	p.RetuneThreshold = 0.05
+	p.SamplePeriod = 8
+	p.MaxRetunes = 0
+	e := newEnv(t, oscillatingProgram(8, 150), p)
+	var buf telemetry.Buffer
+	e.mgr.SetSink(&buf)
+	if err := e.eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	h := e.mgr.Hotspots()[0]
+	if h.Degraded {
+		t.Error("watchdog disabled, hotspot must not degrade")
+	}
+	if h.Retunes < 2 {
+		t.Errorf("retunes = %d, want the oscillation to keep re-tuning", h.Retunes)
+	}
+	if got := buf.Count(telemetry.TypeDegraded); got != 0 {
+		t.Errorf("TypeDegraded events = %d, want 0", got)
+	}
+}

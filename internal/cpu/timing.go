@@ -147,6 +147,13 @@ func (t *Timing) Reconfigure(writebacks int) {
 	t.reconfCycles += t.cfg.ResizeFixedCycles + uint64(writebacks)*t.cfg.WritebackCycles
 }
 
+// ReconfigureStall charges extra drain cycles to the current resize —
+// a transient hardware stall beyond the modelled flush cost (the
+// fault-injection harness's resize point).
+func (t *Timing) ReconfigureStall(cycles uint64) {
+	t.reconfCycles += cycles
+}
+
 func scale(cycles uint64, factor float64) uint64 {
 	return uint64(float64(cycles) * factor)
 }

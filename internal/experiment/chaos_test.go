@@ -1,0 +1,335 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"acedo/internal/fault"
+	"acedo/internal/stats"
+	"acedo/internal/workload"
+)
+
+// chaosSpec is the canned workload for single-run chaos tests: small
+// enough to keep the suite fast, long enough to promote hotspots and
+// cross many sampling intervals.
+func chaosSpec(t *testing.T) workload.Spec {
+	return shortSpec(t, "jess")
+}
+
+// checkResultSane asserts the invariants every chaos run must keep no
+// matter what faults fired: the simulation completed, counters are
+// consistent, and no metric is NaN/Inf.
+func checkResultSane(t *testing.T, r *Result) {
+	t.Helper()
+	if r.Instr == 0 || r.Cycles == 0 {
+		t.Fatalf("empty run: instr=%d cycles=%d", r.Instr, r.Cycles)
+	}
+	for name, v := range map[string]float64{
+		"IPC": r.IPC, "L1DEnergyNJ": r.L1DEnergyNJ, "L2EnergyNJ": r.L2EnergyNJ,
+	} {
+		if !stats.Finite(v) || v < 0 {
+			t.Errorf("%s = %v, want finite and non-negative", name, v)
+		}
+	}
+}
+
+// TestChaosEmptyPlanIsIdentical: arming an empty plan installs the
+// injector plumbing (gates, stall checks, sample checks) but fires
+// nothing — the run must be bit-identical to one with no plan at all.
+func TestChaosEmptyPlanIsIdentical(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = &fault.Plan{Seed: 42}
+	armed, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, armed) {
+		t.Errorf("empty plan changed the run:\nclean = %+v\narmed = %+v", clean, armed)
+	}
+}
+
+// TestChaosDeadlineUnexceededIsIdentical: the deadline watchdog chunks
+// the engine's instruction budget, which must not perturb the
+// simulation when the deadline is generous.
+func TestChaosDeadlineUnexceededIsIdentical(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Deadline = time.Hour
+	chunked, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clean, chunked) {
+		t.Errorf("deadline chunking changed the run:\nclean = %+v\nchunked = %+v", clean, chunked)
+	}
+}
+
+// TestChaosDeadlineExceeded: an impossible deadline must surface as a
+// *RunError wrapping ErrDeadline, not a hang or a panic.
+func TestChaosDeadlineExceeded(t *testing.T) {
+	spec, ok := workload.ByName("jess")
+	if !ok {
+		t.Fatal("no jess benchmark")
+	}
+	opt := DefaultOptions()
+	opt.Deadline = time.Nanosecond
+	_, err := Run(spec, SchemeHotspot, opt)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Benchmark != "jess" || re.Scheme != SchemeHotspot {
+		t.Errorf("err = %#v, want a *RunError carrying the run identity", err)
+	}
+	if IsTransient(err) {
+		t.Error("deadline errors are not transient")
+	}
+}
+
+// TestChaosRejectedRequests: with every CU reconfiguration request
+// rejected, the tuner can never change the hardware — zero
+// reconfigurations — yet the run must complete with sane metrics.
+func TestChaosRejectedRequests(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Breakdown.Reconfigs == 0 {
+		t.Fatal("workload too short: clean run performs no reconfigurations")
+	}
+	opt.Faults = &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointUnitRequest, Kind: fault.KindReject},
+	}}
+	rejected, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultSane(t, rejected)
+	if rejected.Breakdown.Reconfigs != 0 {
+		t.Errorf("reconfigs = %d under reject-all, want 0", rejected.Breakdown.Reconfigs)
+	}
+}
+
+// TestChaosDeferredRequests: deferral holds each request back one
+// Request call; the run completes and the hardware still adapts.
+func TestChaosDeferredRequests(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	opt.Faults = &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointUnitRequest, Kind: fault.KindDefer, Every: 2},
+	}}
+	res, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultSane(t, res)
+	if res.Breakdown.Reconfigs == 0 {
+		t.Error("deferral must delay requests, not suppress all reconfiguration")
+	}
+}
+
+// TestChaosResizeStalls: injected drain stalls charge extra cycles to
+// every accepted resize; instructions are untouched, cycles rise.
+func TestChaosResizeStalls(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Breakdown.Reconfigs == 0 {
+		t.Fatal("workload too short: no resizes to stall")
+	}
+	opt.Faults = &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointResize, Kind: fault.KindStall, StallCycles: 5000},
+	}}
+	stalled, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultSane(t, stalled)
+	if stalled.Cycles <= clean.Cycles {
+		t.Errorf("stalled cycles = %d, want > clean %d", stalled.Cycles, clean.Cycles)
+	}
+}
+
+// TestChaosDroppedSamples: with every profiler timer sample dropped,
+// no method can accumulate samples, so no hotspot is ever promoted —
+// the framework degrades to the unadapted baseline and the run still
+// completes.
+func TestChaosDroppedSamples(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.AOS.Promotions == 0 {
+		t.Fatal("workload too short: clean run promotes no hotspots")
+	}
+	opt.Faults = &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointTimerSample, Kind: fault.KindDrop},
+	}}
+	dropped, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultSane(t, dropped)
+	if dropped.AOS.Promotions != 0 {
+		t.Errorf("promotions = %d with all samples dropped, want 0", dropped.AOS.Promotions)
+	}
+}
+
+// TestChaosDuplicatedSamples: doubling every sample inflates the
+// profiler's counts; promotions can only come earlier, never be lost,
+// and the run completes with sane metrics.
+func TestChaosDuplicatedSamples(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointTimerSample, Kind: fault.KindDuplicate},
+	}}
+	doubled, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultSane(t, doubled)
+	if doubled.AOS.Promotions < clean.AOS.Promotions {
+		t.Errorf("promotions = %d with duplicated samples, want ≥ clean %d",
+			doubled.AOS.Promotions, clean.AOS.Promotions)
+	}
+}
+
+// TestChaosBBVCorruption: flipping accumulator bits at every interval
+// boundary corrupts signatures; the BBV scheme must survive with sane
+// metrics and an unchanged interval count (corruption perturbs
+// classification, not the timer).
+func TestChaosBBVCorruption(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeBBV, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Faults = &fault.Plan{Seed: 7, Rules: []fault.Rule{
+		{Point: fault.PointBBVSignature, Kind: fault.KindBitFlip},
+	}}
+	corrupt, err := Run(spec, SchemeBBV, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResultSane(t, corrupt)
+	if corrupt.BBV == nil || clean.BBV == nil {
+		t.Fatal("missing BBV reports")
+	}
+	if corrupt.BBV.Intervals != clean.BBV.Intervals {
+		t.Errorf("intervals = %d under corruption, want %d", corrupt.BBV.Intervals, clean.BBV.Intervals)
+	}
+}
+
+// TestChaosInjectionDeterministic: the same plan, benchmark, and
+// scheme must produce bit-identical results across runs — the
+// property every other chaos assertion relies on.
+func TestChaosInjectionDeterministic(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	opt.Faults = &fault.Plan{Seed: 99, Rules: []fault.Rule{
+		{Point: fault.PointUnitRequest, Kind: fault.KindReject, Prob: 0.5},
+		{Point: fault.PointTimerSample, Kind: fault.KindDrop, Prob: 0.25},
+		{Point: fault.PointBBVSignature, Kind: fault.KindBitFlip, Every: 3},
+	}}
+	a, err := Run(spec, SchemeBBV, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, SchemeBBV, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same plan produced different results")
+	}
+}
+
+// TestChaosInjectedPanicIsolated: a panic injected into one run is
+// recovered into a *RunError with the run identity and a stack trace.
+func TestChaosInjectedPanicIsolated(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	opt.Faults = &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointRun, Kind: fault.KindPanic},
+	}}
+	res, err := Run(spec, SchemeHotspot, opt)
+	if res != nil || err == nil {
+		t.Fatalf("res=%v err=%v, want nil result and an error", res, err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %#v, want *RunError", err)
+	}
+	if re.Benchmark != spec.Name || re.Scheme != SchemeHotspot || re.Stack == "" {
+		t.Errorf("RunError = %+v, want benchmark/scheme/stack populated", re)
+	}
+	var ip fault.InjectedPanic
+	if !errors.As(err, &ip) {
+		t.Error("cause must unwrap to the InjectedPanic value")
+	}
+}
+
+// TestChaosSuitePartialResults is the acceptance scenario: one
+// benchmark panics persistently, another fails transiently. The suite
+// must return every other comparison, retry the transient one to
+// success, and report the persistent failure in the joined error.
+func TestChaosSuitePartialResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	opt := OptionsAtScale(40) // small workloads: the suite is 21 runs
+	opt.Faults = &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointRun, Kind: fault.KindPanic, Bench: "javac", Scheme: "hotspot"},
+		{Point: fault.PointRun, Kind: fault.KindPanic, Bench: "jess", Scheme: "bbv", Transient: true},
+	}}
+	cs, err := RunSuite(opt)
+	if err == nil {
+		t.Fatal("suite must report the persistent failure")
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Benchmark != "javac" {
+		t.Errorf("joined error = %v, want javac's RunError", err)
+	}
+	specs := workload.Suite()
+	if len(cs) != len(specs) {
+		t.Fatalf("comparisons = %d, want %d slots", len(cs), len(specs))
+	}
+	for i, spec := range specs {
+		switch spec.Name {
+		case "javac":
+			if cs[i] != nil {
+				t.Error("javac failed persistently; its comparison must be nil")
+			}
+		default:
+			// jess's transient fault must have been retried to
+			// success; everything else was never faulted.
+			if cs[i] == nil {
+				t.Errorf("%s comparison missing; isolation failed", spec.Name)
+			}
+		}
+	}
+}

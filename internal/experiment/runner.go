@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"acedo/internal/bbv"
 	"acedo/internal/core"
 	"acedo/internal/cpu"
+	"acedo/internal/fault"
 	"acedo/internal/machine"
 	"acedo/internal/telemetry"
 	"acedo/internal/vm"
@@ -87,6 +89,19 @@ type Options struct {
 	// Log, when non-nil, receives per-benchmark progress lines from
 	// RunSuite (one per completed comparison).
 	Log io.Writer
+
+	// Faults, when non-nil, arms the deterministic fault-injection
+	// plan (internal/fault): every run compiles the plan against its
+	// benchmark/scheme identity and threads the injector through the
+	// machine, the profiler, and the phase detector. Nil keeps every
+	// injection point on its gate-free fast path.
+	Faults *fault.Plan
+
+	// Deadline bounds one run's wall-clock time (0 = unbounded). The
+	// engine executes in instruction-budget chunks and checks the
+	// clock between chunks, so a wedged or pathologically slow
+	// simulation fails with ErrDeadline instead of hanging the suite.
+	Deadline time.Duration
 }
 
 // DefaultOptions returns the standard experiment configuration at the
@@ -166,8 +181,66 @@ type Result struct {
 	BBV *bbv.Report
 }
 
-// Run executes one benchmark under one scheme.
-func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
+// ErrDeadline is the cause carried by a *RunError when a run exceeds
+// Options.Deadline.
+var ErrDeadline = errors.New("experiment: run deadline exceeded")
+
+// RunError is the isolation layer's failure report: the run's
+// identity, the underlying error, and — when the run panicked — the
+// recovered goroutine stack. It unwraps to the cause, so callers can
+// test errors.Is(err, ErrDeadline) or unwrap an injected panic.
+type RunError struct {
+	Benchmark string
+	Scheme    Scheme
+	Err       error
+	// Stack is the goroutine stack captured at recovery (empty for
+	// non-panic failures).
+	Stack string
+	// Transient marks failures the suite may retry once.
+	Transient bool
+}
+
+// Error formats the failure with its run identity.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("experiment %s/%s: %v", e.Benchmark, e.Scheme, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err carries a transient run failure —
+// one a retry may clear (e.g. an injected transient panic).
+func IsTransient(err error) bool {
+	var re *RunError
+	return errors.As(err, &re) && re.Transient
+}
+
+// Run executes one benchmark under one scheme. The simulation is
+// isolated: a panic anywhere inside it — injected by a fault plan or
+// a genuine bug — is recovered and returned as a *RunError carrying
+// the run identity and stack, so one corrupt run cannot take down a
+// caller iterating a suite.
+func Run(spec workload.Spec, scheme Scheme, opt Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else if ip, ok := r.(fault.InjectedPanic); ok {
+			res, err = nil, &RunError{
+				Benchmark: spec.Name, Scheme: scheme,
+				Err: ip, Stack: string(debug.Stack()), Transient: ip.Transient,
+			}
+		} else {
+			res, err = nil, &RunError{
+				Benchmark: spec.Name, Scheme: scheme,
+				Err: fmt.Errorf("panic: %v", r), Stack: string(debug.Stack()),
+			}
+		}
+	}()
+	return run(spec, scheme, opt)
+}
+
+// run is the unguarded body of Run.
+func run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 	prog, err := spec.Build()
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
@@ -177,6 +250,20 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
 	}
 	aos := vm.NewAOS(opt.VM, mach, prog)
+
+	// Fault wiring: compile the plan for this run's identity and
+	// thread the injector through every layer owning an injection
+	// point. A nil plan compiles to a nil injector and every layer
+	// keeps its fault-free fast path.
+	inj, err := fault.New(opt.Faults, spec.Name, scheme.String())
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	}
+	if inj != nil {
+		inj.RunPanic(spec.Name, scheme.String())
+		mach.SetFaults(inj)
+		aos.SetFaults(inj)
+	}
 
 	// Telemetry wiring: label the run's events and unify the
 	// machine's reconfiguration callback into the event stream.
@@ -201,6 +288,9 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 		if bbvMgr, err = wss.NewManager(opt.BBV, opt.WSS, mach); err != nil {
 			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
 		}
+	}
+	if inj != nil && bbvMgr != nil {
+		bbvMgr.SetFaults(inj)
 	}
 	if sink != nil {
 		if hotMgr != nil {
@@ -256,8 +346,8 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 		})
 	}
 
-	if err := eng.Run(opt.MaxInstr); err != nil && err != vm.ErrBudget {
-		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	if err := runEngine(eng, spec.Name, scheme, opt); err != nil {
+		return nil, err
 	}
 	if sampler != nil {
 		sampler.Final()
@@ -285,6 +375,51 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 		res.BBV = &rep
 	}
 	return res, nil
+}
+
+// deadlineChunk is the instruction budget between wall-clock checks
+// when a run deadline is set: small enough to notice an expired
+// deadline within a fraction of a second, large enough that the
+// chunking overhead is noise.
+const deadlineChunk = 1_000_000
+
+// runEngine drives the engine to completion. Without a deadline it is
+// a single Run call — the exact pre-existing path. With one, the
+// engine runs in instruction-budget chunks and the wall clock is
+// checked between chunks; chunking only slices the budget, it does
+// not perturb the simulation, so results are identical either way.
+func runEngine(eng *vm.Engine, bench string, scheme Scheme, opt Options) error {
+	if opt.Deadline <= 0 {
+		if err := eng.Run(opt.MaxInstr); err != nil && err != vm.ErrBudget {
+			return fmt.Errorf("experiment %s/%s: %w", bench, scheme, err)
+		}
+		return nil
+	}
+	limit := time.Now().Add(opt.Deadline)
+	var executed uint64
+	for !eng.Halted() {
+		chunk := uint64(deadlineChunk)
+		if opt.MaxInstr > 0 {
+			if executed >= opt.MaxInstr {
+				return nil // budget exhausted, like vm.ErrBudget
+			}
+			if rest := opt.MaxInstr - executed; rest < chunk {
+				chunk = rest
+			}
+		}
+		err := eng.Run(chunk)
+		executed += chunk
+		if err != nil && err != vm.ErrBudget {
+			return fmt.Errorf("experiment %s/%s: %w", bench, scheme, err)
+		}
+		if err == nil {
+			return nil // halted
+		}
+		if time.Now().After(limit) {
+			return &RunError{Benchmark: bench, Scheme: scheme, Err: ErrDeadline}
+		}
+	}
+	return nil
 }
 
 func reduceAOS(aos *vm.AOS) AOSStats {
@@ -454,8 +589,14 @@ func (o Options) AdjustWorkload(s workload.Spec) workload.Spec {
 // lengths adjusted to the options' scale. The benchmarks run in
 // parallel (every simulation is independent and deterministic); the
 // result order matches workload.Suite(). With Options.Log set, one
-// progress line is written per completed benchmark. All failures are
-// collected and returned joined.
+// progress line is written per completed benchmark.
+//
+// Failures are isolated: a benchmark that fails transiently (see
+// fault.Rule.Transient) is retried once, and whatever happens the
+// remaining benchmarks still run. On error the returned slice holds
+// every completed comparison at its suite position (failed ones are
+// nil) alongside the joined failures, so callers can render partial
+// results instead of discarding a mostly-good suite.
 func RunSuite(opt Options) ([]*Comparison, error) {
 	specs := workload.Suite()
 	out := make([]*Comparison, len(specs))
@@ -473,6 +614,17 @@ func RunSuite(opt Options) ([]*Comparison, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			out[i], errs[i] = Compare(opt.AdjustWorkload(spec), opt)
+			if errs[i] != nil && IsTransient(errs[i]) {
+				// A transient fault has cleared by the retry:
+				// re-run under the plan minus its transient rules
+				// (injection is deterministic, so retrying the
+				// same plan would fail identically). Persistent
+				// rules keep firing and the retry's verdict
+				// stands.
+				ropt := opt
+				ropt.Faults = opt.Faults.WithoutTransient()
+				out[i], errs[i] = Compare(opt.AdjustWorkload(spec), ropt)
+			}
 			if opt.Log != nil {
 				n := done.Add(1)
 				logMu.Lock()
@@ -488,8 +640,5 @@ func RunSuite(opt Options) ([]*Comparison, error) {
 		}(i, spec)
 	}
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return out, errors.Join(errs...)
 }

@@ -15,13 +15,20 @@ type SuiteResults struct {
 	Comparisons []*Comparison
 }
 
-// Collect runs the whole suite once.
+// Collect runs the whole suite once. On failure the returned results
+// are still non-nil and hold every comparison that completed (in
+// suite order, failed benchmarks omitted) alongside the joined error,
+// so callers can render the partial evaluation instead of losing a
+// mostly-good suite run.
 func Collect(opt Options) (*SuiteResults, error) {
 	cs, err := RunSuite(opt)
-	if err != nil {
-		return nil, err
+	done := make([]*Comparison, 0, len(cs))
+	for _, c := range cs {
+		if c != nil {
+			done = append(done, c)
+		}
 	}
-	return &SuiteResults{Options: opt, Comparisons: cs}, nil
+	return &SuiteResults{Options: opt, Comparisons: done}, err
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,400 @@
+// Package fault is the simulator's deterministic fault-injection
+// harness. A Plan names injection points threaded through the
+// simulator — CU reconfiguration requests, cache/IQ resizes, the VM
+// profiler's timer samples, the BBV accumulator, and whole experiment
+// runs — and per-point rules selecting when and how each point
+// misbehaves. A seeded Injector compiled from the plan drives the
+// points reproducibly: the same plan, benchmark, and scheme always
+// yield the same fault sequence, so chaos tests can assert exact
+// degradation behaviour.
+//
+// The package is dependency-free so every layer of the simulator can
+// import it. All Injector methods are safe on a nil receiver and
+// return "no fault" — consumers hold a nil *Injector in the common
+// case and pay a single pointer test on their hot paths.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+)
+
+// Point names an injection point in the simulator.
+type Point string
+
+const (
+	// PointUnitRequest intercepts ace.Unit.Request: the CU's special
+	// configuration instruction can be rejected or deferred.
+	PointUnitRequest Point = "unit-request"
+	// PointResize intercepts an accepted machine resize
+	// (applyIQ/applyL1D/applyL2): the drain can stall extra cycles.
+	PointResize Point = "resize"
+	// PointTimerSample intercepts the VM profiler's timer: a due
+	// sample can be dropped or delivered twice.
+	PointTimerSample Point = "timer-sample"
+	// PointBBVSignature intercepts the BBV detector's interval
+	// boundary: accumulator bits can be flipped before
+	// classification, corrupting the vector and any stored
+	// signature derived from it.
+	PointBBVSignature Point = "bbv-signature"
+	// PointRun intercepts the start of one experiment run: the run
+	// panics, exercising the suite's isolation layer.
+	PointRun Point = "run"
+)
+
+// Kind selects what happens when a rule fires.
+type Kind string
+
+const (
+	// KindReject drops a CU reconfiguration request.
+	KindReject Kind = "reject"
+	// KindDefer holds a CU reconfiguration request back; it is
+	// re-issued at the unit's next request.
+	KindDefer Kind = "defer"
+	// KindStall charges extra drain cycles to a resize.
+	KindStall Kind = "stall"
+	// KindDrop discards a due profiler timer sample.
+	KindDrop Kind = "drop"
+	// KindDuplicate delivers a due profiler timer sample twice.
+	KindDuplicate Kind = "duplicate"
+	// KindBitFlip flips one random accumulator bit.
+	KindBitFlip Kind = "bitflip"
+	// KindPanic panics the run with an InjectedPanic value.
+	KindPanic Kind = "panic"
+)
+
+// pointKinds lists the kinds valid at each point.
+var pointKinds = map[Point][]Kind{
+	PointUnitRequest:  {KindReject, KindDefer},
+	PointResize:       {KindStall},
+	PointTimerSample:  {KindDrop, KindDuplicate},
+	PointBBVSignature: {KindBitFlip},
+	PointRun:          {KindPanic},
+}
+
+// Rule arms one injection point. A rule observes the point's
+// eligible hits (those passing the Unit/Bench/Scheme filters) and
+// fires on a deterministic subset: hits before After never fire;
+// afterwards every Every-th hit fires (Every 0 or 1 = each one), or,
+// when Prob is set instead, each hit fires with that probability
+// drawn from the plan's seeded generator. Count caps the total fires
+// (0 = unlimited).
+type Rule struct {
+	Point Point `json:"point"`
+	Kind  Kind  `json:"kind"`
+
+	// Unit filters unit-request/resize rules to one CU ("L1D",
+	// "L2", "IQ"); empty matches every unit.
+	Unit string `json:"unit,omitempty"`
+	// Bench and Scheme filter the rule to one benchmark and/or
+	// scheme; empty matches all.
+	Bench  string `json:"bench,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+
+	After uint64  `json:"after,omitempty"`
+	Count uint64  `json:"count,omitempty"`
+	Every uint64  `json:"every,omitempty"`
+	Prob  float64 `json:"prob,omitempty"`
+
+	// StallCycles is the extra drain charged by a stall rule.
+	StallCycles uint64 `json:"stall_cycles,omitempty"`
+
+	// Transient marks faults the suite may retry once (a run failed
+	// by a transient fault is re-executed; persistent faults fail
+	// the run outright).
+	Transient bool `json:"transient,omitempty"`
+}
+
+// Validate checks one rule.
+func (r Rule) Validate() error {
+	kinds, ok := pointKinds[r.Point]
+	if !ok {
+		return fmt.Errorf("fault: unknown injection point %q", r.Point)
+	}
+	valid := false
+	for _, k := range kinds {
+		if k == r.Kind {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return fmt.Errorf("fault: kind %q invalid at point %q", r.Kind, r.Point)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: probability %v out of [0,1]", r.Prob)
+	}
+	if r.Prob > 0 && r.Every > 1 {
+		return fmt.Errorf("fault: rule sets both prob and every")
+	}
+	if r.Kind == KindStall && r.StallCycles == 0 {
+		return fmt.Errorf("fault: stall rule needs stall_cycles")
+	}
+	return nil
+}
+
+// Plan is a complete fault schedule: a seed plus the armed rules.
+// The zero plan (no rules) injects nothing.
+type Plan struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// Validate checks every rule.
+func (p *Plan) Validate() error {
+	for i, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WithoutTransient returns a copy of the plan with every transient
+// rule removed. The suite's retry path runs under this plan: a
+// transient fault, by definition, has cleared by the second attempt,
+// while persistent rules keep firing. A nil plan stays nil.
+func (p *Plan) WithoutTransient() *Plan {
+	if p == nil {
+		return nil
+	}
+	q := &Plan{Seed: p.Seed}
+	for _, r := range p.Rules {
+		if !r.Transient {
+			q.Rules = append(q.Rules, r)
+		}
+	}
+	return q
+}
+
+// LoadPlan reads and validates a JSON plan file.
+func LoadPlan(path string) (*Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("fault: %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// InjectedPanic is the value a KindPanic rule panics with; the
+// experiment layer's recovery recognizes it and classes the failure.
+type InjectedPanic struct {
+	Bench     string
+	Scheme    string
+	Transient bool
+}
+
+// Error makes the value self-describing in recovered stacks.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("fault: injected panic (%s/%s)", p.Bench, p.Scheme)
+}
+
+// Outcome is the verdict at a unit-request injection point.
+type Outcome int
+
+const (
+	// OutcomeAllow lets the request through.
+	OutcomeAllow Outcome = iota
+	// OutcomeReject drops the request.
+	OutcomeReject
+	// OutcomeDefer holds the request for the unit's next request.
+	OutcomeDefer
+)
+
+// SampleAction is the verdict at the timer-sample injection point.
+type SampleAction int
+
+const (
+	// SampleKeep delivers the sample normally.
+	SampleKeep SampleAction = iota
+	// SampleDrop discards the sample.
+	SampleDrop
+	// SampleDuplicate delivers the sample twice.
+	SampleDuplicate
+)
+
+// ruleState is one armed rule plus its hit/fire counters.
+type ruleState struct {
+	Rule
+	hits  uint64
+	fires uint64
+}
+
+// Injector is a Plan compiled for one run. It is deterministic (one
+// seeded generator, consulted only by probabilistic rules) and owned
+// by a single simulation goroutine; it is not safe for concurrent
+// use. A nil *Injector is the universal "no faults" value.
+type Injector struct {
+	byPoint map[Point][]*ruleState
+	rng     *rand.Rand
+}
+
+// New compiles the plan's rules matching the given benchmark and
+// scheme. The generator is seeded from the plan seed and the run
+// identity, so parallel runs of one suite draw independent but
+// reproducible sequences. A nil plan yields a nil injector.
+func New(p *Plan, bench, scheme string) (*Injector, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s", bench, scheme)
+	j := &Injector{
+		byPoint: make(map[Point][]*ruleState),
+		rng:     rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64()))),
+	}
+	for _, r := range p.Rules {
+		if r.Bench != "" && r.Bench != bench {
+			continue
+		}
+		if r.Scheme != "" && r.Scheme != scheme {
+			continue
+		}
+		j.byPoint[r.Point] = append(j.byPoint[r.Point], &ruleState{Rule: r})
+	}
+	return j, nil
+}
+
+// fire advances one rule's hit counter and reports whether it fires.
+func (j *Injector) fire(rs *ruleState) bool {
+	hit := rs.hits
+	rs.hits++
+	if hit < rs.After {
+		return false
+	}
+	if rs.Count > 0 && rs.fires >= rs.Count {
+		return false
+	}
+	if rs.Prob > 0 {
+		if j.rng.Float64() >= rs.Prob {
+			return false
+		}
+	} else if every := rs.Every; every > 1 && (hit-rs.After)%every != 0 {
+		return false
+	}
+	rs.fires++
+	return true
+}
+
+// match finds the first firing rule of the given kind at a point.
+func (j *Injector) match(pt Point, unit string, kind Kind) *ruleState {
+	for _, rs := range j.byPoint[pt] {
+		if rs.Kind != kind {
+			continue
+		}
+		if rs.Unit != "" && rs.Unit != unit {
+			continue
+		}
+		if j.fire(rs) {
+			return rs
+		}
+	}
+	return nil
+}
+
+// UnitRequest decides the fate of one CU reconfiguration request.
+func (j *Injector) UnitRequest(unit string) Outcome {
+	if j == nil {
+		return OutcomeAllow
+	}
+	if j.match(PointUnitRequest, unit, KindReject) != nil {
+		return OutcomeReject
+	}
+	if j.match(PointUnitRequest, unit, KindDefer) != nil {
+		return OutcomeDefer
+	}
+	return OutcomeAllow
+}
+
+// ResizeStall returns the extra drain cycles charged to one accepted
+// resize (0 = none).
+func (j *Injector) ResizeStall(unit string) uint64 {
+	if j == nil {
+		return 0
+	}
+	if rs := j.match(PointResize, unit, KindStall); rs != nil {
+		return rs.StallCycles
+	}
+	return 0
+}
+
+// TimerSample decides the fate of one due profiler sample.
+func (j *Injector) TimerSample() SampleAction {
+	if j == nil {
+		return SampleKeep
+	}
+	if j.match(PointTimerSample, "", KindDrop) != nil {
+		return SampleDrop
+	}
+	if j.match(PointTimerSample, "", KindDuplicate) != nil {
+		return SampleDuplicate
+	}
+	return SampleKeep
+}
+
+// CorruptBBV flips one random bit of one random accumulator bucket
+// when a bitflip rule fires, reporting whether it did.
+func (j *Injector) CorruptBBV(acc []uint32) bool {
+	if j == nil || len(acc) == 0 {
+		return false
+	}
+	if j.match(PointBBVSignature, "", KindBitFlip) == nil {
+		return false
+	}
+	acc[j.rng.Intn(len(acc))] ^= 1 << uint(j.rng.Intn(24))
+	return true
+}
+
+// RunPanic panics with an InjectedPanic when a run-point panic rule
+// fires. The experiment layer calls it once per run, inside its
+// recovery scope.
+func (j *Injector) RunPanic(bench, scheme string) {
+	if j == nil {
+		return
+	}
+	if rs := j.match(PointRun, "", KindPanic); rs != nil {
+		panic(InjectedPanic{Bench: bench, Scheme: scheme, Transient: rs.Transient})
+	}
+}
+
+// Fired returns the total fires of the given kind at a point — the
+// chaos tests' ground truth for "the fault actually happened".
+func (j *Injector) Fired(pt Point, kind Kind) uint64 {
+	if j == nil {
+		return 0
+	}
+	var n uint64
+	for _, rs := range j.byPoint[pt] {
+		if rs.Kind == kind {
+			n += rs.fires
+		}
+	}
+	return n
+}
+
+// TotalFired sums fires across all rules.
+func (j *Injector) TotalFired() uint64 {
+	if j == nil {
+		return 0
+	}
+	var n uint64
+	for _, rules := range j.byPoint {
+		for _, rs := range rules {
+			n += rs.fires
+		}
+	}
+	return n
+}

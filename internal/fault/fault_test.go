@@ -1,0 +1,199 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNilInjectorIsNoFault(t *testing.T) {
+	var j *Injector
+	if got := j.UnitRequest("L1D"); got != OutcomeAllow {
+		t.Fatalf("nil injector UnitRequest = %v, want allow", got)
+	}
+	if got := j.ResizeStall("L2"); got != 0 {
+		t.Fatalf("nil injector ResizeStall = %d, want 0", got)
+	}
+	if got := j.TimerSample(); got != SampleKeep {
+		t.Fatalf("nil injector TimerSample = %v, want keep", got)
+	}
+	if j.CorruptBBV([]uint32{1, 2}) {
+		t.Fatal("nil injector corrupted a BBV")
+	}
+	j.RunPanic("b", "s") // must not panic
+	if j.TotalFired() != 0 {
+		t.Fatal("nil injector reported fires")
+	}
+}
+
+func TestNilPlanYieldsNilInjector(t *testing.T) {
+	j, err := New(nil, "compress", "hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != nil {
+		t.Fatal("nil plan produced a non-nil injector")
+	}
+}
+
+func TestRuleTriggerWindow(t *testing.T) {
+	plan := &Plan{Rules: []Rule{{
+		Point: PointUnitRequest, Kind: KindReject,
+		After: 2, Count: 3, Every: 2,
+	}}}
+	j, err := New(plan, "b", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Outcome
+	for i := 0; i < 10; i++ {
+		got = append(got, j.UnitRequest("L1D"))
+	}
+	// Hits 0,1 are before the window; hits 2,4,6 fire (every 2nd,
+	// capped at 3 fires); the rest pass.
+	want := []Outcome{OutcomeAllow, OutcomeAllow, OutcomeReject, OutcomeAllow,
+		OutcomeReject, OutcomeAllow, OutcomeReject, OutcomeAllow, OutcomeAllow, OutcomeAllow}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hit %d: outcome %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if n := j.Fired(PointUnitRequest, KindReject); n != 3 {
+		t.Fatalf("Fired = %d, want 3", n)
+	}
+}
+
+func TestUnitAndRunFilters(t *testing.T) {
+	plan := &Plan{Rules: []Rule{
+		{Point: PointUnitRequest, Kind: KindReject, Unit: "L2"},
+		{Point: PointRun, Kind: KindPanic, Bench: "compress", Scheme: "hotspot"},
+	}}
+	j, err := New(plan, "compress", "bbv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.UnitRequest("L1D"); got != OutcomeAllow {
+		t.Fatalf("L1D request = %v, want allow (rule filters to L2)", got)
+	}
+	if got := j.UnitRequest("L2"); got != OutcomeReject {
+		t.Fatalf("L2 request = %v, want reject", got)
+	}
+	// The panic rule is scheme-filtered to hotspot: this bbv-run
+	// injector must not include it.
+	j.RunPanic("compress", "bbv")
+
+	j2, err := New(plan, "compress", "hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v, want InjectedPanic", r)
+		}
+		if ip.Bench != "compress" || ip.Scheme != "hotspot" {
+			t.Fatalf("InjectedPanic = %+v", ip)
+		}
+	}()
+	j2.RunPanic("compress", "hotspot")
+	t.Fatal("RunPanic did not panic")
+}
+
+func TestProbabilisticRuleIsDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 42, Rules: []Rule{{
+		Point: PointTimerSample, Kind: KindDrop, Prob: 0.5,
+	}}}
+	seq := func() []SampleAction {
+		j, err := New(plan, "b", "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []SampleAction
+		for i := 0; i < 200; i++ {
+			out = append(out, j.TimerSample())
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical injectors", i)
+		}
+		if a[i] == SampleDrop {
+			drops++
+		}
+	}
+	if drops < 50 || drops > 150 {
+		t.Fatalf("prob 0.5 dropped %d/200 samples", drops)
+	}
+}
+
+func TestCorruptBBVFlipsOneBit(t *testing.T) {
+	plan := &Plan{Seed: 7, Rules: []Rule{{Point: PointBBVSignature, Kind: KindBitFlip}}}
+	j, err := New(plan, "b", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make([]uint32, 32)
+	if !j.CorruptBBV(acc) {
+		t.Fatal("bitflip rule did not fire")
+	}
+	ones := 0
+	for _, c := range acc {
+		for b := c; b != 0; b &= b - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("corruption flipped %d bits, want 1", ones)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Point: "bogus", Kind: KindReject}}},
+		{Rules: []Rule{{Point: PointResize, Kind: KindReject}}},
+		{Rules: []Rule{{Point: PointResize, Kind: KindStall}}}, // no cycles
+		{Rules: []Rule{{Point: PointRun, Kind: KindPanic, Prob: 1.5}}},
+		{Rules: []Rule{{Point: PointRun, Kind: KindPanic, Prob: 0.5, Every: 4}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated, want error", i)
+		}
+	}
+	good := Plan{Rules: []Rule{{Point: PointResize, Kind: KindStall, StallCycles: 100}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestLoadPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	body := `{"seed": 3, "rules": [
+		{"point": "unit-request", "kind": "reject", "unit": "L1D", "every": 2},
+		{"point": "run", "kind": "panic", "bench": "db", "transient": true}
+	]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadPlan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 3 || len(p.Rules) != 2 || !p.Rules[1].Transient {
+		t.Fatalf("loaded plan %+v", p)
+	}
+	if _, err := LoadPlan(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if err := os.WriteFile(path, []byte(`{"rules":[{"point":"nope"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlan(path); err == nil {
+		t.Fatal("invalid plan loaded")
+	}
+}

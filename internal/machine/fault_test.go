@@ -1,0 +1,114 @@
+package machine
+
+import (
+	"testing"
+
+	"acedo/internal/fault"
+)
+
+// reconfigEvent records one OnReconfigure callback.
+type reconfigEvent struct {
+	unit string
+	size int
+}
+
+// armed builds a machine with the given fault plan installed and an
+// OnReconfigure recorder that asserts the resize completed before the
+// callback fired.
+func armed(t *testing.T, plan *fault.Plan) (*Machine, *[]reconfigEvent) {
+	t.Helper()
+	m := newMach(t)
+	if plan != nil {
+		inj, err := fault.New(plan, "test", "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetFaults(inj)
+	}
+	events := &[]reconfigEvent{}
+	m.OnReconfigure = func(unit string, size int, nowInstr uint64) {
+		if unit == "L1D" && m.L1D.SizeBytes() != size {
+			t.Errorf("OnReconfigure(L1D, %d) fired but cache is %d bytes — callback before resize",
+				size, m.L1D.SizeBytes())
+		}
+		*events = append(*events, reconfigEvent{unit, size})
+	}
+	// Step past the reconfiguration-interval hardware guard.
+	m.Issue(2 * m.cfg.L1DReconfigInterval)
+	return m, events
+}
+
+// TestChaosReconfigureAfterResize pins the callback ordering contract:
+// OnReconfigure announces a *completed* resize, so the recorder above
+// must observe the cache already at its new size.
+func TestChaosReconfigureAfterResize(t *testing.T) {
+	m, events := armed(t, nil)
+	if !m.L1DUnit.Request(0, m.Instructions()) {
+		t.Fatal("unfaulted request refused")
+	}
+	if len(*events) != 1 || (*events)[0].unit != "L1D" {
+		t.Fatalf("events = %v, want one L1D resize", *events)
+	}
+}
+
+// TestChaosRejectedRequestIsSilent: a gate rejection leaves the
+// configuration untouched and must not emit OnReconfigure.
+func TestChaosRejectedRequestIsSilent(t *testing.T) {
+	m, events := armed(t, &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointUnitRequest, Kind: fault.KindReject},
+	}})
+	before := m.L1D.SizeBytes()
+	if m.L1DUnit.Request(0, m.Instructions()) {
+		t.Fatal("rejected request reported success")
+	}
+	if m.L1D.SizeBytes() != before {
+		t.Errorf("L1D size changed to %d under reject", m.L1D.SizeBytes())
+	}
+	if len(*events) != 0 {
+		t.Errorf("events = %v, want none", *events)
+	}
+	if got := m.L1DUnit.Stats().Rejected; got != 1 {
+		t.Errorf("rejected count = %d, want 1", got)
+	}
+}
+
+// TestChaosDeferredRequestCommitsLater: a deferred request emits
+// nothing at first; the unit re-issues it at the next Request call and
+// only then does the resize — and its OnReconfigure — happen.
+func TestChaosDeferredRequestCommitsLater(t *testing.T) {
+	m, events := armed(t, &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointUnitRequest, Kind: fault.KindDefer, Count: 1},
+	}})
+	if m.L1DUnit.Request(0, m.Instructions()) {
+		t.Fatal("deferred request reported success")
+	}
+	if len(*events) != 0 {
+		t.Fatalf("events after deferral = %v, want none", *events)
+	}
+	m.Issue(m.cfg.L1DReconfigInterval)
+	m.L1DUnit.Request(1, m.Instructions())
+	if len(*events) == 0 {
+		t.Fatal("deferred resize never committed")
+	}
+	if (*events)[0].size != m.L1DUnit.Setting(0) {
+		t.Errorf("first commit = %d bytes, want the deferred target %d",
+			(*events)[0].size, m.L1DUnit.Setting(0))
+	}
+}
+
+// TestChaosResizeStallCost: an injected drain stall charges exactly its
+// extra cycles on top of the normal reconfiguration cost.
+func TestChaosResizeStallCost(t *testing.T) {
+	const extra = 1234
+	clean, _ := armed(t, nil)
+	stalled, _ := armed(t, &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointResize, Kind: fault.KindStall, StallCycles: extra},
+	}})
+	c0, s0 := clean.Cycles(), stalled.Cycles()
+	clean.L1DUnit.Request(0, clean.Instructions())
+	stalled.L1DUnit.Request(0, stalled.Instructions())
+	cd, sd := clean.Cycles()-c0, stalled.Cycles()-s0
+	if sd != cd+extra {
+		t.Errorf("stalled resize cost %d cycles, clean %d: want exactly +%d", sd, cd, extra)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"acedo/internal/ace"
 	"acedo/internal/cache"
 	"acedo/internal/cpu"
+	"acedo/internal/fault"
 	"acedo/internal/power"
 )
 
@@ -115,9 +116,15 @@ type Machine struct {
 	instructions uint64
 	booted       bool
 
+	// faults, when non-nil, injects resize stalls (the request-level
+	// faults live in the units' gates; see SetFaults).
+	faults *fault.Injector
+
 	// OnReconfigure, when set, observes every accepted
 	// configuration change (for tracing/visualization; it must not
-	// call back into the machine).
+	// call back into the machine). It fires only after the resize
+	// and the meter switch have succeeded, so telemetry never
+	// records a reconfiguration that did not happen.
 	OnReconfigure func(unit string, setting int, instr uint64)
 }
 
@@ -203,6 +210,41 @@ func (m *Machine) Units() []*ace.Unit {
 	return us
 }
 
+// SetFaults installs (or, with nil, removes) a fault injector: the
+// units' request gates route through the injector's unit-request
+// point, and accepted resizes consult its resize point for extra
+// drain stalls. Install before running; without an injector the hot
+// paths stay gate-free.
+func (m *Machine) SetFaults(inj *fault.Injector) {
+	m.faults = inj
+	var gate ace.Gate
+	if inj != nil {
+		gate = func(unit string, _ int, _ uint64) ace.GateOutcome {
+			switch inj.UnitRequest(unit) {
+			case fault.OutcomeReject:
+				return ace.GateReject
+			case fault.OutcomeDefer:
+				return ace.GateDefer
+			}
+			return ace.GateAllow
+		}
+	}
+	for _, u := range m.Units() {
+		u.SetGate(gate)
+	}
+}
+
+// faultStall charges any injected extra drain cycles for a resize of
+// the named unit.
+func (m *Machine) faultStall(unit string) {
+	if m.faults == nil {
+		return
+	}
+	if extra := m.faults.ResizeStall(unit); extra > 0 {
+		m.Timing.ReconfigureStall(extra)
+	}
+}
+
 // applyIQ resizes the instruction window: drain the in-flight window
 // (a fixed-cycle cost, no data movement), adjust the timing model's
 // exposure, and switch the energy meter.
@@ -210,15 +252,16 @@ func (m *Machine) applyIQ(entries int, nowInstr uint64) {
 	if !m.booted {
 		return
 	}
-	if m.OnReconfigure != nil {
-		m.OnReconfigure("IQ", entries, nowInstr)
-	}
 	cycles := m.Timing.Cycles()
 	m.Timing.SetWindow(entries, m.iqBase)
 	if err := m.MIQ.SetSize(entries, cycles); err != nil {
 		panic(fmt.Sprintf("machine: IQ meter: %v", err))
 	}
 	m.Timing.Reconfigure(0)
+	m.faultStall("IQ")
+	if m.OnReconfigure != nil {
+		m.OnReconfigure("IQ", entries, nowInstr)
+	}
 }
 
 // applyL1D performs the L1D resize: flush dirty lines to L2 (charged
@@ -226,9 +269,6 @@ func (m *Machine) applyIQ(entries int, nowInstr uint64) {
 func (m *Machine) applyL1D(size int, nowInstr uint64) {
 	if !m.booted {
 		return // initial apply at construction; cache already at size
-	}
-	if m.OnReconfigure != nil {
-		m.OnReconfigure("L1D", size, nowInstr)
 	}
 	cycles := m.Timing.Cycles()
 	wb, err := m.L1D.Resize(size)
@@ -241,15 +281,16 @@ func (m *Machine) applyL1D(size int, nowInstr uint64) {
 	m.ML1D.FlushWritebacks(wb)
 	m.ML2.AccessN(uint64(wb)) // flushed lines land in L2
 	m.Timing.Reconfigure(wb)
+	m.faultStall("L1D")
+	if m.OnReconfigure != nil {
+		m.OnReconfigure("L1D", size, nowInstr)
+	}
 }
 
 // applyL2 performs the L2 resize: dirty lines go to memory.
 func (m *Machine) applyL2(size int, nowInstr uint64) {
 	if !m.booted {
 		return
-	}
-	if m.OnReconfigure != nil {
-		m.OnReconfigure("L2", size, nowInstr)
 	}
 	cycles := m.Timing.Cycles()
 	wb, err := m.L2.Resize(size)
@@ -261,6 +302,10 @@ func (m *Machine) applyL2(size int, nowInstr uint64) {
 	}
 	m.ML2.FlushWritebacks(wb)
 	m.Timing.Reconfigure(wb)
+	m.faultStall("L2")
+	if m.OnReconfigure != nil {
+		m.OnReconfigure("L2", size, nowInstr)
+	}
 }
 
 // Instructions returns the number of retired instructions.

@@ -5,6 +5,13 @@ package stats
 
 import "math"
 
+// Finite reports whether x is neither NaN nor infinite — the guard the
+// tuning managers apply before a measurement can enter their decision
+// math (a corrupted sample must never poison an acceptance gate).
+func Finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // Welford accumulates a running mean and variance in one pass. The
 // zero value is ready to use.
 type Welford struct {

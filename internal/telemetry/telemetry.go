@@ -45,6 +45,10 @@ const (
 	TypePhaseTuned Type = "phase-tuned"
 	// TypeInterval is an interval-metrics sample (Sampler).
 	TypeInterval Type = "interval"
+	// TypeDegraded is an oscillation watchdog trip: a hotspot or
+	// temporal manager gave up adapting and pinned its units to the
+	// full-size safe configuration.
+	TypeDegraded Type = "degraded"
 )
 
 // Event is one entry of the run's event log. Type selects which of the
@@ -62,6 +66,7 @@ type Event struct {
 	Tuner       *TunerEvent       `json:"tuner,omitempty"`
 	Phase       *PhaseEvent       `json:"phase,omitempty"`
 	Interval    *IntervalMetrics  `json:"interval,omitempty"`
+	Degraded    *DegradedEvent    `json:"degraded,omitempty"`
 }
 
 // ReconfigureEvent is an accepted configuration change: the unit and
@@ -100,6 +105,20 @@ type PhaseEvent struct {
 	Stable bool    `json:"stable,omitempty"`
 	Config []int   `json:"config,omitempty"`
 	IPC    float64 `json:"ipc,omitempty"`
+}
+
+// DegradedEvent is an oscillation watchdog trip. Scope is "hotspot"
+// (Method/Retunes set) or "phase" (Phase/Flips set); Config holds the
+// pinned full-size safe configuration as setting values in the
+// manager's unit order.
+type DegradedEvent struct {
+	Scope   string `json:"scope"`
+	Method  string `json:"method,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Phase   int    `json:"phase,omitempty"`
+	Retunes int    `json:"retunes,omitempty"`
+	Flips   int    `json:"flips,omitempty"`
+	Config  []int  `json:"config,omitempty"`
 }
 
 // IntervalMetrics is one interval sample: deltas since the previous
@@ -296,6 +315,7 @@ func (e Event) Validate() error {
 		TypePhase:       e.Phase != nil,
 		TypePhaseTuned:  e.Phase != nil,
 		TypeInterval:    e.Interval != nil,
+		TypeDegraded:    e.Degraded != nil,
 	}
 	ok, known := want[e.Type]
 	if !known {

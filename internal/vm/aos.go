@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"acedo/internal/fault"
 	"acedo/internal/machine"
 	"acedo/internal/program"
 )
@@ -82,6 +83,12 @@ type AOS struct {
 	OnPromote func(prof *MethodProfile)
 
 	nextSample uint64
+
+	// faults, when non-nil, may drop or duplicate due timer samples
+	// (the timer-sample injection point).
+	faults         *fault.Injector
+	droppedSamples uint64
+	dupSamples     uint64
 
 	overheadInstr uint64
 	promotions    uint64
@@ -215,18 +222,43 @@ func (a *AOS) promote(p *MethodProfile) {
 	}
 }
 
+// SetFaults installs (or, with nil, removes) a fault injector for the
+// timer-sample point. Install before running the engine.
+func (a *AOS) SetFaults(inj *fault.Injector) { a.faults = inj }
+
+// DroppedSamples and DupSamples report the fault injector's effect on
+// the sampling profiler (zero without an injector).
+func (a *AOS) DroppedSamples() uint64 { return a.droppedSamples }
+
+// DupSamples returns the number of duplicated timer samples.
+func (a *AOS) DupSamples() uint64 { return a.dupSamples }
+
 // sampleDue checks the sampling timer; the engine calls it on every
 // retired instruction (the fast path is one comparison). When a sample
 // is due, the engine credits every method on the call stack via
 // creditSample — like Jikes' caller sampling, so enclosing hot methods
 // accumulate samples proportional to their inclusive execution time,
-// not just their own loop overhead.
-func (a *AOS) sampleDue(nowInstr uint64) bool {
+// not just their own loop overhead. The return value is the number of
+// times to deliver the sample: normally 1, but an installed fault
+// injector can drop a due sample (0) or duplicate it (2) — lossy and
+// glitchy profiling timers are a first-class input the promotion
+// logic must tolerate.
+func (a *AOS) sampleDue(nowInstr uint64) int {
 	if nowInstr < a.nextSample {
-		return false
+		return 0
 	}
 	a.nextSample += a.params.SampleInterval
-	return true
+	if a.faults != nil {
+		switch a.faults.TimerSample() {
+		case fault.SampleDrop:
+			a.droppedSamples++
+			return 0
+		case fault.SampleDuplicate:
+			a.dupSamples++
+			return 2
+		}
+	}
+	return 1
 }
 
 // creditSample records one profiler sample for a method.

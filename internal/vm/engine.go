@@ -125,7 +125,7 @@ func (e *Engine) Run(maxInstr uint64) error {
 		}
 		in := f.block.Instrs[f.idx]
 		e.mach.Issue(1)
-		if e.aos.sampleDue(e.mach.Instructions()) {
+		for n := e.aos.sampleDue(e.mach.Instructions()); n > 0; n-- {
 			for i := 0; i < e.depth; i++ {
 				e.aos.creditSample(e.frames[i].m.ID)
 			}
