@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-snapshot tables vet fmt fmt-check cover fuzz chaos ci clean
+.PHONY: all build test test-short bench bench-snapshot bench-record bench-compare tables vet fmt fmt-check cover fuzz chaos ci clean
 
 all: build test
 
@@ -33,6 +33,28 @@ bench:
 # perf/energy trajectory artifact (BENCH_<commit>.json).
 bench-snapshot:
 	$(GO) run ./cmd/acetables -json BENCH_$$(git rev-parse --short HEAD).json -q
+
+# The committed wall-clock perf record future runs diff against.
+BENCH_BASE ?= BENCH_pr3.json
+
+# Re-measure the hot benchmarks and write a fresh perf record
+# (BENCH_<commit>.json) for check-in at perf-sensitive PRs.
+bench-record:
+	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$' -count=5 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_$$(git rev-parse --short HEAD).json
+
+# Diff current throughput against the committed record ($(BENCH_BASE)).
+# Uses benchstat when installed; otherwise the bundled benchjson
+# comparator prints the delta table and fails on a >15% regression.
+bench-compare:
+	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$' -count=5 . > /tmp/acedo_bench_new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) run ./cmd/benchjson -raw $(BENCH_BASE) > /tmp/acedo_bench_base.txt; \
+		benchstat /tmp/acedo_bench_base.txt /tmp/acedo_bench_new.txt; \
+	else \
+		$(GO) run ./cmd/benchjson -o /tmp/acedo_bench_new.json /tmp/acedo_bench_new.txt; \
+		$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) /tmp/acedo_bench_new.json; \
+	fi
 
 # Regenerate every table and figure (21 simulations, ~20 s single-core).
 tables:

@@ -1,0 +1,326 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON record, and compares two such records for regressions.
+// It is the dependency-free half of the perf-trajectory tooling: the
+// JSON files (BENCH_baseline.json, BENCH_pr3.json, …) are committed
+// per PR, `make bench-compare` diffs a fresh run against them, and the
+// CI perf-smoke job fails on a throughput regression. When benchstat
+// is installed the -raw mode reconstructs its text input from a JSON
+// record; nothing here requires it.
+//
+// Usage:
+//
+//	go test -bench . | benchjson -o BENCH.json   # record
+//	benchjson -compare OLD.json NEW.json          # regression gate
+//	benchjson -raw BENCH.json                     # re-emit benchstat input
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion identifies the record layout.
+const SchemaVersion = 1
+
+// Record is the committed perf artifact.
+type Record struct {
+	SchemaVersion int `json:"schema_version"`
+	// Context lines from the bench header (goos, goarch, pkg, cpu).
+	Context []string `json:"context,omitempty"`
+	// Benchmarks is sorted by name.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw preserves the exact benchmark result lines, so benchstat
+	// input can be reconstructed from the committed JSON.
+	Raw []string `json:"raw"`
+}
+
+// Benchmark aggregates every `-count` repetition of one benchmark.
+type Benchmark struct {
+	Name string `json:"name"`
+	Runs []Run  `json:"runs"`
+	// Median holds the per-field medians across runs — the numbers
+	// the regression gate compares.
+	Median Run `json:"median"`
+}
+
+// Run is one benchmark result line.
+type Run struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON record to this file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two JSON records: benchjson -compare OLD NEW")
+	raw := flag.Bool("raw", false, "print the raw benchmark lines stored in a JSON record")
+	metric := flag.String("metric", "Minstr/s", "higher-is-better metric the -compare gate checks when a benchmark reports it")
+	threshold := flag.Float64("threshold", 15, "-compare fails when the gated metric regresses by more than this percentage")
+	flag.Parse()
+
+	switch {
+	case *compare:
+		if flag.NArg() != 2 {
+			fatalf("-compare needs exactly two files: OLD NEW")
+		}
+		old, err := load(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		new_, err := load(flag.Arg(1))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !compareRecords(os.Stdout, old, new_, *metric, *threshold) {
+			os.Exit(1)
+		}
+	case *raw:
+		if flag.NArg() != 1 {
+			fatalf("-raw needs exactly one file")
+		}
+		rec, err := load(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, line := range rec.Context {
+			fmt.Println(line)
+		}
+		for _, line := range rec.Raw {
+			fmt.Println(line)
+		}
+	default:
+		var in io.Reader = os.Stdin
+		if flag.NArg() == 1 {
+			f, err := os.Open(flag.Arg(0))
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			in = f
+		} else if flag.NArg() > 1 {
+			fatalf("at most one input file")
+		}
+		rec, err := Parse(in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(rec.Benchmarks) == 0 {
+			fatalf("no benchmark result lines found in input")
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func load(path string) (*Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// Parse reads `go test -bench` output. Result lines have the shape
+//
+//	BenchmarkName[-P] <iterations> <value> <unit> [<value> <unit>…]
+//
+// Context lines (goos/goarch/pkg/cpu) are preserved; everything else
+// (PASS, ok, test logs) is ignored.
+func Parse(r io.Reader) (*Record, error) {
+	rec := &Record{SchemaVersion: SchemaVersion}
+	byName := map[string]*Benchmark{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "goos:"),
+			strings.HasPrefix(trimmed, "goarch:"),
+			strings.HasPrefix(trimmed, "pkg:"),
+			strings.HasPrefix(trimmed, "cpu:"):
+			rec.Context = append(rec.Context, trimmed)
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		run := Run{Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			if fields[i+1] == "ns/op" {
+				run.NsPerOp = v
+			} else {
+				run.Metrics[fields[i+1]] = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		if len(run.Metrics) == 0 {
+			run.Metrics = nil
+		}
+		// Strip the -GOMAXPROCS suffix so records from different
+		// hosts key the same way.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Runs = append(b.Runs, run)
+		rec.Raw = append(rec.Raw, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		b := byName[name]
+		b.Median = median(b.Runs)
+		rec.Benchmarks = append(rec.Benchmarks, *b)
+	}
+	return rec, nil
+}
+
+// median computes the per-field median across runs (mean of the two
+// middle values for even counts).
+func median(runs []Run) Run {
+	med := func(vs []float64) float64 {
+		sort.Float64s(vs)
+		n := len(vs)
+		if n == 0 {
+			return 0
+		}
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+	out := Run{}
+	var ns []float64
+	var iters []float64
+	keys := map[string]bool{}
+	for _, r := range runs {
+		ns = append(ns, r.NsPerOp)
+		iters = append(iters, float64(r.Iterations))
+		for k := range r.Metrics {
+			keys[k] = true
+		}
+	}
+	out.NsPerOp = med(ns)
+	out.Iterations = int64(med(iters))
+	if len(keys) > 0 {
+		out.Metrics = map[string]float64{}
+		for k := range keys {
+			var vs []float64
+			for _, r := range runs {
+				if v, ok := r.Metrics[k]; ok {
+					vs = append(vs, v)
+				}
+			}
+			out.Metrics[k] = med(vs)
+		}
+	}
+	return out
+}
+
+// compareRecords prints a per-benchmark delta table and returns false
+// when any benchmark regresses beyond the threshold: a drop in the
+// gated higher-is-better metric when both records report it, otherwise
+// a rise in ns/op.
+func compareRecords(w io.Writer, old, new_ *Record, metric string, threshold float64) bool {
+	newBy := map[string]Benchmark{}
+	for _, b := range new_.Benchmarks {
+		newBy[b.Name] = b
+	}
+	pass := true
+	fmt.Fprintf(w, "%-28s %15s %15s %9s\n", "benchmark", "old", "new", "delta")
+	for _, ob := range old.Benchmarks {
+		nb, ok := newBy[ob.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %15s %15s %9s\n", ob.Name, "-", "missing", "-")
+			pass = false
+			continue
+		}
+		ov, nv, unit, higherBetter := pick(ob, nb, metric)
+		if ov == 0 {
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		verdict := ""
+		regressed := delta < -threshold
+		if !higherBetter {
+			regressed = delta > threshold
+		}
+		if regressed {
+			verdict = "  REGRESSION"
+			pass = false
+		}
+		fmt.Fprintf(w, "%-28s %11.2f %3s %11.2f %3s %+8.1f%%%s\n",
+			ob.Name, ov, unit, nv, unit, delta, verdict)
+	}
+	if !pass {
+		fmt.Fprintf(w, "FAIL: regression beyond %.0f%% threshold\n", threshold)
+	}
+	return pass
+}
+
+// pick selects the compared quantity for a benchmark pair: the gated
+// metric when both medians report it, else ns/op.
+func pick(ob, nb Benchmark, metric string) (ov, nv float64, unit string, higherBetter bool) {
+	if o, ok := ob.Median.Metrics[metric]; ok {
+		if n, ok := nb.Median.Metrics[metric]; ok {
+			return o, n, metric, true
+		}
+	}
+	return ob.Median.NsPerOp, nb.Median.NsPerOp, "ns/op", false
+}

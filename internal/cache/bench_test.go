@@ -1,0 +1,51 @@
+package cache
+
+import "testing"
+
+// benchAddrs builds an address stream with a hot working set (mostly
+// hits) plus a cold sweep (forced misses and dirty evictions), so the
+// benchmark exercises the hit probe, the victim scan, and the fill
+// path in realistic proportions.
+func benchAddrs(n int) []uint64 {
+	addrs := make([]uint64, n)
+	state := uint64(0x2545F4914F6CDD1D)
+	for i := range addrs {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		if i%16 == 15 {
+			addrs[i] = state % (1 << 24) // cold: spans far beyond any L1
+		} else {
+			addrs[i] = state % (16 << 10) // hot: fits a 32 KB cache
+		}
+	}
+	return addrs
+}
+
+func benchCacheAccess(b *testing.B, ways int) {
+	c := MustNew("bench", 32<<10, 64, ways)
+	addrs := benchAddrs(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		c.Access(a, i%4 == 0)
+	}
+	if c.Stats().Accesses == 0 {
+		b.Fatal("no accesses recorded")
+	}
+}
+
+func BenchmarkCacheAccessDirect(b *testing.B) { benchCacheAccess(b, 1) }
+func BenchmarkCacheAccess2Way(b *testing.B)   { benchCacheAccess(b, 2) }
+func BenchmarkCacheAccess4Way(b *testing.B)   { benchCacheAccess(b, 4) }
+
+func BenchmarkTLBAccess(b *testing.B) {
+	t := NewTLB("bench", 128, 4096)
+	addrs := benchAddrs(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(addrs[i%len(addrs)] << 8) // spread across pages
+	}
+}

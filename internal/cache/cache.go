@@ -147,15 +147,20 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 func (c *Cache) Access(addr uint64, write bool) Result {
 	c.stats.Accesses++
 	c.useTick++
+	// The full block address serves as the tag; the set bits are
+	// redundant in it but harmless, and keeping them avoids a shift
+	// on every probe.
 	blockAddr := addr >> c.blockShift
 	set := blockAddr & c.setMask
-	tag := blockAddr >> 0 // full block address as tag; set bits are redundant but harmless
 	base := int(set) * c.ways
 
-	// Hit path: scan the (small) set.
-	for i := base; i < base+c.ways; i++ {
-		ln := &c.lines[i]
-		if ln.valid && ln.tag == tag {
+	// Specialised probes for the common organisations: direct-mapped
+	// (one line, no victim scan at all) and 2-way (both L1s), where
+	// two inline compares beat the general scan loop.
+	switch c.ways {
+	case 1:
+		ln := &c.lines[base]
+		if ln.valid && ln.tag == blockAddr {
 			c.stats.Hits++
 			ln.lastUse = c.useTick
 			if write {
@@ -163,10 +168,39 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			}
 			return Result{Hit: true}
 		}
+		return c.fill(base, blockAddr, write)
+	case 2:
+		if ln := &c.lines[base]; ln.valid && ln.tag == blockAddr {
+			c.stats.Hits++
+			ln.lastUse = c.useTick
+			if write {
+				ln.dirty = true
+			}
+			return Result{Hit: true}
+		}
+		if ln := &c.lines[base+1]; ln.valid && ln.tag == blockAddr {
+			c.stats.Hits++
+			ln.lastUse = c.useTick
+			if write {
+				ln.dirty = true
+			}
+			return Result{Hit: true}
+		}
+	default:
+		for i := base; i < base+c.ways; i++ {
+			ln := &c.lines[i]
+			if ln.valid && ln.tag == blockAddr {
+				c.stats.Hits++
+				ln.lastUse = c.useTick
+				if write {
+					ln.dirty = true
+				}
+				return Result{Hit: true}
+			}
+		}
 	}
 
 	// Miss: pick LRU victim (prefer invalid ways).
-	c.stats.Misses++
 	victim := base
 	for i := base; i < base+c.ways; i++ {
 		if !c.lines[i].valid {
@@ -177,6 +211,13 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 			victim = i
 		}
 	}
+	return c.fill(victim, blockAddr, write)
+}
+
+// fill installs blockAddr in the line at index victim on a miss,
+// reporting any dirty eviction.
+func (c *Cache) fill(victim int, blockAddr uint64, write bool) Result {
+	c.stats.Misses++
 	var res Result
 	v := &c.lines[victim]
 	if v.valid && v.dirty {
@@ -184,7 +225,7 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		res.Writeback = true
 		res.WritebackAddr = v.tag << c.blockShift
 	}
-	*v = line{tag: tag, lastUse: c.useTick, valid: true, dirty: write}
+	*v = line{tag: blockAddr, lastUse: c.useTick, valid: true, dirty: write}
 	return res
 }
 

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRunSuiteParallelismDeterminism pins RunSuite's independence
+// guarantee: every simulation is deterministic and shares no state, so
+// a fully serial suite and a concurrent one must produce byte-identical
+// snapshot JSON. A divergence here means a simulation picked up hidden
+// shared state (a global RNG, a shared machine, an order-dependent
+// accumulation) and the per-commit snapshot artifact is no longer
+// trustworthy.
+func TestRunSuiteParallelismDeterminism(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxInstr = 250_000 // bound each run; determinism, not fidelity, is under test
+	snap := func(par int) []byte {
+		o := opt
+		o.Parallelism = par
+		res, err := Collect(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := snap(1)
+	concurrent := snap(4)
+	if !bytes.Equal(serial, concurrent) {
+		t.Errorf("serial and concurrent suite snapshots differ:\nserial:     %s\nconcurrent: %s", serial, concurrent)
+	}
+}

@@ -7,11 +7,13 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,6 +104,13 @@ type Options struct {
 	// clock between chunks, so a wedged or pathologically slow
 	// simulation fails with ErrDeadline instead of hanging the suite.
 	Deadline time.Duration
+
+	// Parallelism caps the number of concurrently simulated
+	// benchmarks in RunSuite (0 = GOMAXPROCS). Every simulation is
+	// independent and deterministic, so the results are identical at
+	// any setting — a property the determinism tests pin by diffing
+	// serial against concurrent suite snapshots.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard experiment configuration at the
@@ -220,6 +229,10 @@ func IsTransient(err error) bool {
 // a genuine bug — is recovered and returned as a *RunError carrying
 // the run identity and stack, so one corrupt run cannot take down a
 // caller iterating a suite.
+//
+// The run executes under pprof labels ("bench", "scheme"), so CPU
+// profiles of a suite — including the concurrent RunSuite — attribute
+// samples to the benchmark×scheme cell that burned them.
 func Run(spec workload.Spec, scheme Scheme, opt Options) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r == nil {
@@ -236,7 +249,11 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (res *Result, err error
 			}
 		}
 	}()
-	return run(spec, scheme, opt)
+	pprof.Do(context.Background(), pprof.Labels("bench", spec.Name, "scheme", scheme.String()),
+		func(context.Context) {
+			res, err = run(spec, scheme, opt)
+		})
+	return res, err
 }
 
 // run is the unguarded body of Run.
@@ -605,7 +622,11 @@ func RunSuite(opt Options) ([]*Comparison, error) {
 	start := time.Now()
 	var done atomic.Int64
 	var logMu sync.Mutex
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, max(1, par))
 	var wg sync.WaitGroup
 	for i, spec := range specs {
 		sem <- struct{}{} // acquire the slot before spawning

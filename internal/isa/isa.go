@@ -20,6 +20,18 @@ const NumRegs = 32
 // cache hierarchy.
 const WordBytes = 8
 
+// Instruction address-space geometry, shared by the program sealer
+// (which precomputes each block's I-cache line range at Seal) and the
+// machine's I-fetch path. Instructions are 4 bytes apart; instruction
+// addresses live in a region disjoint from data (IBase) so the unified
+// L2 keeps I- and D-blocks apart; the L1I line holds ILineBytes bytes
+// (16 instructions).
+const (
+	InstrBytes = 4
+	ILineBytes = 64
+	IBase      = uint64(1) << 40
+)
+
 // Opcode identifies an instruction kind.
 type Opcode uint8
 
@@ -152,6 +164,24 @@ func (op Opcode) IsConditional() bool {
 func (op Opcode) IsTerminator() bool {
 	switch op {
 	case OpBr, OpBrZ, OpJmp, OpRet, OpHalt:
+		return true
+	}
+	return false
+}
+
+// IsSimple reports whether the opcode is a straight-line register op
+// with no memory, control-flow, or machine-event side effects — the
+// class the engine's block-batched fast path executes in a tight loop
+// (one Issue call and one sampler settlement per run). Every opcode
+// that is not simple touches the machine model (Data, CondBranch,
+// Fetch via a block transfer) or the frame stack, and is stepped
+// individually.
+func (op Opcode) IsSimple() bool {
+	switch op {
+	case OpNop, OpConst,
+		OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddI, OpMulI, OpAndI, OpXorI, OpShlI, OpShrI,
+		OpCmpLt, OpCmpEq:
 		return true
 	}
 	return false

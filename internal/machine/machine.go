@@ -20,6 +20,7 @@ import (
 	"acedo/internal/cache"
 	"acedo/internal/cpu"
 	"acedo/internal/fault"
+	"acedo/internal/isa"
 	"acedo/internal/power"
 )
 
@@ -27,9 +28,11 @@ const kb = 1024
 
 // Instruction addresses are 4 bytes apart and live in a region
 // disjoint from data so the unified L2 keeps I- and D-blocks apart.
+// The geometry is owned by package isa so the program sealer can
+// precompute each block's I-line range without importing the machine.
 const (
-	instrBytes = 4
-	iBase      = uint64(1) << 40
+	instrBytes = isa.InstrBytes
+	iBase      = isa.IBase
 )
 
 // Config parameterises the machine. ScaledConfig and PaperConfig build
@@ -325,22 +328,48 @@ func (m *Machine) Issue(n uint64) {
 	}
 }
 
+// IssueBatch retires a straight-line run of n engine instructions in
+// one call — the batched-issue entry point of the block-batched fast
+// path. It is architecturally identical to n Issue(1) calls: the
+// instruction count and issue-slot accounting are integer-linear, and
+// the IQ wakeup/select energy is accrued with AccessRepeat so the
+// float accumulation is bit-exact with the per-instruction path (the
+// differential determinism tests assert exact Snapshot equality across
+// engine modes, three-CU included).
+func (m *Machine) IssueBatch(n uint64) {
+	m.instructions += n
+	m.Timing.Issue(n)
+	if m.MIQ != nil {
+		m.MIQ.AccessRepeat(n)
+	}
+}
+
 // iLineBytes is the L1I block size (matches the cache.New call in New;
 // a 64 B line holds 16 4-byte instructions).
-const iLineBytes = 64
+const iLineBytes = isa.ILineBytes
 
 // Fetch simulates the instruction fetch for the basic block whose
 // first instruction has global index pc and which holds instrs
 // instructions. The fetch walks the block's I-cache line range and
 // accesses each 64 B line once: a block longer than 16 instructions
-// spans — and pays for — multiple lines. The engine calls Fetch once
-// per block entry.
+// spans — and pays for — multiple lines. The engine calls FetchLines
+// with the sealed line range once per block entry; Fetch derives the
+// range from scratch for callers without a sealed block.
 func (m *Machine) Fetch(pc uint64, instrs int) {
 	if instrs < 1 {
 		instrs = 1
 	}
 	first := (iBase + pc*instrBytes) &^ (iLineBytes - 1)
 	last := (iBase + (pc+uint64(instrs)-1)*instrBytes) &^ (iLineBytes - 1)
+	m.FetchLines(first, last)
+}
+
+// FetchLines walks the I-cache line range [first, last] (byte
+// addresses of 64 B lines) and accesses each line once. The sealed
+// program stores each block's precomputed range (program.Block
+// FirstLine/LastLine), so the per-block-entry fast path skips the
+// address arithmetic Fetch performs.
+func (m *Machine) FetchLines(first, last uint64) {
 	for addr := first; ; addr += iLineBytes {
 		if !m.ITLB.Access(addr) {
 			m.Timing.TLBMiss()

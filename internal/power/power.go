@@ -196,6 +196,18 @@ func (m *Meter) Access() { m.dynNJ += m.curAccessNJ }
 // AccessN charges n accesses at the current size.
 func (m *Meter) AccessN(n uint64) { m.dynNJ += float64(n) * m.curAccessNJ }
 
+// AccessRepeat charges n accesses one at a time. Unlike AccessN's
+// single fused multiply-add, the result is bit-exact with n sequential
+// Access calls — the batched issue path uses it so a run charged in
+// one call accumulates exactly the same float total as the
+// per-instruction reference path, keeping batched and stepped engine
+// modes byte-identical in every energy readout.
+func (m *Meter) AccessRepeat(n uint64) {
+	for ; n > 0; n-- {
+		m.dynNJ += m.curAccessNJ
+	}
+}
+
 // FlushWritebacks charges the reconfiguration flush of n dirty lines.
 func (m *Meter) FlushWritebacks(n int) { m.flushNJ += float64(n) * m.model.FlushLineNJ }
 

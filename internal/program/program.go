@@ -29,6 +29,31 @@ type Block struct {
 	// address PC+i. Used by the branch predictor, the BBV
 	// accumulator and the I-cache.
 	PC uint64
+
+	// Ops is the pre-decoded micro-op stream, one Micro per
+	// instruction, computed by Seal. The engine's block-batched fast
+	// path dispatches on this dense representation (operands and run
+	// lengths in one cache line-friendly struct) instead of
+	// re-reading the encoded Instrs.
+	Ops []Micro
+
+	// FirstLine and LastLine are the byte addresses of the first and
+	// last L1I cache lines the block's instructions occupy, computed
+	// by Seal so machine.Fetch does not re-derive them on every
+	// block entry.
+	FirstLine, LastLine uint64
+}
+
+// Micro is one pre-decoded micro-op. It mirrors isa.Instr's operand
+// fields and adds Run: the length of the maximal straight-line run of
+// simple ops (isa.Opcode.IsSimple) starting at this instruction, or 0
+// when the op itself is not simple. The engine issues a whole run with
+// one machine.IssueBatch call and one sampler settlement.
+type Micro struct {
+	Op      isa.Opcode
+	A, B, C uint8
+	Run     int32
+	Imm     int64
 }
 
 // Method is a named, callable unit. Control enters at block 0 and
@@ -80,8 +105,9 @@ func (p *Program) NumMethods() int { return len(p.Methods) }
 func (p *Program) Sealed() bool { return p.sealed }
 
 // Seal assigns global PCs to every block, computes static instruction
-// counts, and validates the whole program. After Seal the program is
-// immutable and runnable. Seal is idempotent.
+// counts, pre-decodes every block (micro-op stream, straight-line run
+// lengths, I-cache line range), and validates the whole program. After
+// Seal the program is immutable and runnable. Seal is idempotent.
 func (p *Program) Seal() error {
 	if p.sealed {
 		return nil
@@ -94,6 +120,7 @@ func (p *Program) Seal() error {
 			b.PC = pc
 			pc += uint64(len(b.Instrs))
 			m.StaticInstrs += len(b.Instrs)
+			b.decode()
 		}
 		p.TotalStaticInstrs += m.StaticInstrs
 	}
@@ -102,6 +129,34 @@ func (p *Program) Seal() error {
 	}
 	p.sealed = true
 	return nil
+}
+
+// decode computes the block's sealed fast-path annotations: the
+// micro-op stream with straight-line run lengths and the absolute
+// L1I line range. Must run after the block's PC is assigned.
+func (b *Block) decode() {
+	n := len(b.Instrs)
+	b.Ops = make([]Micro, n)
+	for i, in := range b.Instrs {
+		b.Ops[i] = Micro{Op: in.Op, A: in.A, B: in.B, C: in.C, Imm: in.Imm}
+	}
+	// Run lengths, back to front: a simple op extends the run that
+	// starts at its successor.
+	for i := n - 1; i >= 0; i-- {
+		if !b.Ops[i].Op.IsSimple() {
+			continue
+		}
+		b.Ops[i].Run = 1
+		if i+1 < n {
+			b.Ops[i].Run += b.Ops[i+1].Run
+		}
+	}
+	span := n
+	if span < 1 {
+		span = 1
+	}
+	b.FirstLine = (isa.IBase + b.PC*isa.InstrBytes) &^ (isa.ILineBytes - 1)
+	b.LastLine = (isa.IBase + (b.PC+uint64(span)-1)*isa.InstrBytes) &^ (isa.ILineBytes - 1)
 }
 
 // validate checks structural well-formedness: every instruction valid,

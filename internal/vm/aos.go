@@ -244,10 +244,17 @@ func (a *AOS) DupSamples() uint64 { return a.dupSamples }
 // glitchy profiling timers are a first-class input the promotion
 // logic must tolerate.
 func (a *AOS) sampleDue(nowInstr uint64) int {
-	if nowInstr < a.nextSample {
+	if nowInstr < a.nextSample || a.params.SampleInterval == 0 {
 		return 0
 	}
 	a.nextSample += a.params.SampleInterval
+	return a.deliver()
+}
+
+// deliver routes one due timer sample through the fault injector and
+// returns how many times to credit it (0 dropped, 1 normal, 2
+// duplicated).
+func (a *AOS) deliver() int {
 	if a.faults != nil {
 		switch a.faults.TimerSample() {
 		case fault.SampleDrop:
@@ -259,6 +266,35 @@ func (a *AOS) sampleDue(nowInstr uint64) int {
 		}
 	}
 	return 1
+}
+
+// sampleDueN replays the per-instruction sampler poll over a batch of
+// n just-retired instructions ending at instruction count now, and
+// returns the total number of sample deliveries. It advances the
+// next-sample watermark and consults the fault injector once per due
+// sample, in the same order as n sequential sampleDue polls at counts
+// now-n+1 … now — the batched engine path lands samples on exactly
+// the same instruction indices as the stepped path. Within a
+// straight-line run the frame stack cannot change, so the caller may
+// credit all deliveries against the current stack.
+func (a *AOS) sampleDueN(now, n uint64) int {
+	interval := a.params.SampleInterval
+	if interval == 0 || now < a.nextSample {
+		return 0
+	}
+	total := 0
+	c := now - n + 1
+	for a.nextSample <= now {
+		if c < a.nextSample {
+			c = a.nextSample // polls before the watermark don't fire
+		}
+		a.nextSample += interval
+		total += a.deliver()
+		if c++; c > now {
+			break
+		}
+	}
+	return total
 }
 
 // creditSample records one profiler sample for a method.

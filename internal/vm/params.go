@@ -13,7 +13,10 @@ type Params struct {
 	// SampleInterval is the sampling profiler period in
 	// instructions (Jikes samples the active method roughly every
 	// 10 ms; at IPC≈1 on the 1 GHz core that is ~10 M instructions,
-	// scaled per DESIGN.md §4).
+	// scaled per DESIGN.md §4). Zero disables the sampling profiler
+	// entirely: the engine skips the sampler poll, no samples are
+	// ever credited, and (with non-zero MinSamples) no method is
+	// promoted.
 	SampleInterval uint64
 
 	// HotThreshold is the invocation count after which a sampled
@@ -32,14 +35,11 @@ type Params struct {
 
 // Validate checks parameter sanity. The engine validates at
 // construction: a zero-value Params would otherwise panic on the
-// initial frame push (MaxCallDepth 0 allocates an empty frame stack)
-// and sample on every instruction (SampleInterval 0).
+// initial frame push (MaxCallDepth 0 allocates an empty frame stack).
+// SampleInterval 0 is legal and means the profiler is disabled.
 func (p Params) Validate() error {
 	if p.MaxCallDepth < 1 {
 		return fmt.Errorf("vm: MaxCallDepth %d must be at least 1", p.MaxCallDepth)
-	}
-	if p.SampleInterval == 0 {
-		return fmt.Errorf("vm: SampleInterval must be positive")
 	}
 	return nil
 }

@@ -50,12 +50,22 @@ func TestNewEngineRejectsInvalidParams(t *testing.T) {
 		t.Errorf("zero-value Params: err = %v, want MaxCallDepth error", err)
 	}
 
+	// SampleInterval 0 disables the profiler: the engine must build
+	// and run without ever delivering a sample.
 	p := testParams()
 	p.SampleInterval = 0
 	aos = NewAOS(p, mach, prog)
-	if _, err := NewEngine(prog, mach, aos); err == nil ||
-		!strings.Contains(err.Error(), "SampleInterval") {
-		t.Errorf("zero SampleInterval: err = %v, want SampleInterval error", err)
+	eng, err := NewEngine(prog, mach, aos)
+	if err != nil {
+		t.Fatalf("zero SampleInterval (profiler disabled): %v", err)
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range aos.Profiles() {
+		if s := aos.Profiles()[i].Samples; s != 0 {
+			t.Errorf("profiler disabled but method %d has %d samples", i, s)
+		}
 	}
 
 	aos = NewAOS(testParams(), mach, prog)
