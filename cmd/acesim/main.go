@@ -37,6 +37,7 @@ func run() int {
 	events := flag.String("events", "", "write JSONL telemetry events to this file (\"-\" = stdout)")
 	interval := flag.Uint64("interval", 0, "interval-metric sampling period in retired instructions (0 = the L1D reconfiguration interval)")
 	faults := flag.String("faults", "", "arm the fault-injection plan in this JSON file (chaos testing)")
+	noReplay := flag.Bool("noreplay", false, "with -scheme all: disable the record-once/replay-many fast path")
 	deadline := flag.Duration("deadline", 0, "wall-clock limit per run, e.g. 60s (0 = unbounded)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -76,6 +77,7 @@ func run() int {
 	opt.MaxInstr = *maxInstr
 	opt.TelemetryInterval = *interval
 	opt.Deadline = *deadline
+	opt.NoReplay = *noReplay
 	if *faults != "" {
 		plan, err := fault.LoadPlan(*faults)
 		if err != nil {
@@ -118,6 +120,27 @@ func run() int {
 		return 2
 	}
 
+	// -scheme all takes the record-once/replay-many fast path: the
+	// baseline run records the benchmark's architectural trace and the
+	// other schemes replay it (bit-identical results, a fraction of
+	// the wall-clock). Single-scheme runs execute directly.
+	if len(schemes) > 1 {
+		results, err := experiment.RunSchemes(spec, opt, schemes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acesim: %v\n", err)
+			return 1
+		}
+		if eventSink != nil {
+			if err := eventSink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "acesim: events: %v\n", err)
+				return 1
+			}
+		}
+		for _, res := range results {
+			printRun(res)
+		}
+		return 0
+	}
 	for _, sch := range schemes {
 		res, err := experiment.Run(spec, sch, opt)
 		if err != nil {
@@ -155,7 +178,7 @@ func writeMemProfile(path string) {
 }
 
 func printRun(r *experiment.Result) {
-	fmt.Printf("%s / %s\n", r.Benchmark, r.Scheme)
+	fmt.Printf("%s / %s (%s, %.2fs)\n", r.Benchmark, r.Scheme, r.Disposition, r.Wall.Seconds())
 	fmt.Printf("  instructions  %d\n", r.Instr)
 	fmt.Printf("  cycles        %d (IPC %.3f)\n", r.Cycles, r.IPC)
 	fmt.Printf("  L1D energy    %.4g mJ\n", r.L1DEnergyNJ/1e6)

@@ -34,6 +34,8 @@ func run() int {
 	scale := flag.Uint64("scale", 10, "scale divisor for instruction-count parameters")
 	threeCU := flag.Bool("threecu", false, "run the three-CU extension (adds the issue-queue unit) and print its table")
 	jsonOut := flag.String("json", "", "write the suite's schema-stable bench snapshot JSON to this file instead of tables (\"-\" = stdout)")
+	runMeta := flag.Bool("runmeta", false, "include per-run wall time and record/replay disposition in the -json snapshot (schema-additive fields)")
+	noReplay := flag.Bool("noreplay", false, "disable the record-once/replay-many fast path and execute every scheme directly")
 	detectors := flag.Bool("detectors", false, "run the phase-detector comparison (BBV vs working-set signatures vs hotspot)")
 	quiet := flag.Bool("q", false, "suppress per-benchmark progress lines on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -59,6 +61,7 @@ func run() int {
 	if *threeCU {
 		opt = opt.WithThreeCU()
 	}
+	opt.NoReplay = *noReplay
 	if !*quiet {
 		opt.Log = os.Stderr
 	}
@@ -110,7 +113,11 @@ func run() int {
 
 	w := os.Stdout
 	if *jsonOut != "" {
-		if err := res.Snapshot().WriteJSON(jsonFile); err != nil {
+		snap := res.Snapshot()
+		if *runMeta {
+			snap = res.SnapshotWithMeta()
+		}
+		if err := snap.WriteJSON(jsonFile); err != nil {
 			fmt.Fprintf(os.Stderr, "acetables: %v\n", err)
 			return 1
 		}

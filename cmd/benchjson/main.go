@@ -9,9 +9,18 @@
 //
 // Usage:
 //
-//	go test -bench . | benchjson -o BENCH.json   # record
+//	go test -bench . | benchjson -o BENCH.json    # record
 //	benchjson -compare OLD.json NEW.json          # regression gate
+//	benchjson -compare OLD1.json OLD2.json NEW.json
+//	benchjson -compare -override BenchmarkSuite=25 OLD.json NEW.json
 //	benchjson -raw BENCH.json                     # re-emit benchstat input
+//
+// With several OLD records the gate compares against the best recorded
+// value per benchmark (highest Minstr/s, lowest ns/op) — the committed
+// trajectory's high-water mark — so a PR can't claim a win merely by
+// diffing against a slow ancestor. -override name=pct loosens (or
+// tightens) the threshold for one benchmark, for known-noisy
+// wall-clock-dominated suites.
 package main
 
 import (
@@ -63,22 +72,28 @@ func main() {
 	raw := flag.Bool("raw", false, "print the raw benchmark lines stored in a JSON record")
 	metric := flag.String("metric", "Minstr/s", "higher-is-better metric the -compare gate checks when a benchmark reports it")
 	threshold := flag.Float64("threshold", 15, "-compare fails when the gated metric regresses by more than this percentage")
+	overrides := overrideFlag{}
+	flag.Var(&overrides, "override", "per-benchmark threshold override as name=pct (repeatable)")
 	flag.Parse()
 
 	switch {
 	case *compare:
-		if flag.NArg() != 2 {
-			fatalf("-compare needs exactly two files: OLD NEW")
+		if flag.NArg() < 2 {
+			fatalf("-compare needs at least two files: OLD [OLD…] NEW")
 		}
-		old, err := load(flag.Arg(0))
+		var olds []*Record
+		for _, path := range flag.Args()[:flag.NArg()-1] {
+			rec, err := load(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			olds = append(olds, rec)
+		}
+		new_, err := load(flag.Arg(flag.NArg() - 1))
 		if err != nil {
 			fatalf("%v", err)
 		}
-		new_, err := load(flag.Arg(1))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		if !compareRecords(os.Stdout, old, new_, *metric, *threshold) {
+		if !compareRecords(os.Stdout, olds, new_, *metric, *threshold, overrides) {
 			os.Exit(1)
 		}
 	case *raw:
@@ -273,40 +288,91 @@ func median(runs []Run) Run {
 	return out
 }
 
+// overrideFlag accumulates repeated -override name=pct settings into a
+// per-benchmark threshold map.
+type overrideFlag map[string]float64
+
+func (o overrideFlag) String() string {
+	var names []string
+	for k := range o {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%g", k, o[k])
+	}
+	return b.String()
+}
+
+func (o overrideFlag) Set(s string) error {
+	name, pct, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("override %q: want name=pct", s)
+	}
+	v, err := strconv.ParseFloat(pct, 64)
+	if err != nil || v < 0 {
+		return fmt.Errorf("override %q: bad percentage", s)
+	}
+	o[name] = v
+	return nil
+}
+
 // compareRecords prints a per-benchmark delta table and returns false
-// when any benchmark regresses beyond the threshold: a drop in the
-// gated higher-is-better metric when both records report it, otherwise
-// a rise in ns/op.
-func compareRecords(w io.Writer, old, new_ *Record, metric string, threshold float64) bool {
+// when any benchmark regresses beyond its threshold: a drop in the
+// gated higher-is-better metric when the records report it, otherwise
+// a rise in ns/op. With several OLD records the comparison baseline is
+// the best recorded value per benchmark across all of them; overrides
+// replace the global threshold for the named benchmarks.
+func compareRecords(w io.Writer, olds []*Record, new_ *Record, metric string, threshold float64, overrides map[string]float64) bool {
 	newBy := map[string]Benchmark{}
 	for _, b := range new_.Benchmarks {
 		newBy[b.Name] = b
 	}
+	// Union of OLD benchmark names, each mapped to every record's entry.
+	oldBy := map[string][]Benchmark{}
+	var names []string
+	for _, old := range olds {
+		for _, b := range old.Benchmarks {
+			if oldBy[b.Name] == nil {
+				names = append(names, b.Name)
+			}
+			oldBy[b.Name] = append(oldBy[b.Name], b)
+		}
+	}
+	sort.Strings(names)
 	pass := true
 	fmt.Fprintf(w, "%-28s %15s %15s %9s\n", "benchmark", "old", "new", "delta")
-	for _, ob := range old.Benchmarks {
-		nb, ok := newBy[ob.Name]
+	for _, name := range names {
+		nb, ok := newBy[name]
 		if !ok {
-			fmt.Fprintf(w, "%-28s %15s %15s %9s\n", ob.Name, "-", "missing", "-")
+			fmt.Fprintf(w, "%-28s %15s %15s %9s\n", name, "-", "missing", "-")
 			pass = false
 			continue
 		}
-		ov, nv, unit, higherBetter := pick(ob, nb, metric)
+		ov, nv, unit, higherBetter := pick(oldBy[name], nb, metric)
 		if ov == 0 {
 			continue
 		}
+		limit := threshold
+		if o, ok := overrides[name]; ok {
+			limit = o
+		}
 		delta := (nv - ov) / ov * 100
 		verdict := ""
-		regressed := delta < -threshold
+		regressed := delta < -limit
 		if !higherBetter {
-			regressed = delta > threshold
+			regressed = delta > limit
 		}
 		if regressed {
 			verdict = "  REGRESSION"
 			pass = false
 		}
 		fmt.Fprintf(w, "%-28s %11.2f %3s %11.2f %3s %+8.1f%%%s\n",
-			ob.Name, ov, unit, nv, unit, delta, verdict)
+			name, ov, unit, nv, unit, delta, verdict)
 	}
 	if !pass {
 		fmt.Fprintf(w, "FAIL: regression beyond %.0f%% threshold\n", threshold)
@@ -314,13 +380,28 @@ func compareRecords(w io.Writer, old, new_ *Record, metric string, threshold flo
 	return pass
 }
 
-// pick selects the compared quantity for a benchmark pair: the gated
-// metric when both medians report it, else ns/op.
-func pick(ob, nb Benchmark, metric string) (ov, nv float64, unit string, higherBetter bool) {
-	if o, ok := ob.Median.Metrics[metric]; ok {
-		if n, ok := nb.Median.Metrics[metric]; ok {
-			return o, n, metric, true
+// pick selects the compared quantity for a benchmark: the gated metric
+// when the new record and at least one old record report it, else
+// ns/op. Across several old records it takes the best value — highest
+// for the higher-is-better metric, lowest for ns/op — so the gate
+// holds the line against the trajectory's high-water mark.
+func pick(obs []Benchmark, nb Benchmark, metric string) (ov, nv float64, unit string, higherBetter bool) {
+	if n, ok := nb.Median.Metrics[metric]; ok {
+		best, have := 0.0, false
+		for _, ob := range obs {
+			if o, ok := ob.Median.Metrics[metric]; ok && (!have || o > best) {
+				best, have = o, true
+			}
+		}
+		if have {
+			return best, n, metric, true
 		}
 	}
-	return ob.Median.NsPerOp, nb.Median.NsPerOp, "ns/op", false
+	best, have := 0.0, false
+	for _, ob := range obs {
+		if o := ob.Median.NsPerOp; o > 0 && (!have || o < best) {
+			best, have = o, true
+		}
+	}
+	return best, nb.Median.NsPerOp, "ns/op", false
 }

@@ -23,6 +23,7 @@ import (
 	"acedo/internal/cpu"
 	"acedo/internal/fault"
 	"acedo/internal/machine"
+	"acedo/internal/program"
 	"acedo/internal/telemetry"
 	"acedo/internal/vm"
 	"acedo/internal/workload"
@@ -109,8 +110,19 @@ type Options struct {
 	// benchmarks in RunSuite (0 = GOMAXPROCS). Every simulation is
 	// independent and deterministic, so the results are identical at
 	// any setting — a property the determinism tests pin by diffing
-	// serial against concurrent suite snapshots.
+	// serial against concurrent suite snapshots. Compare reuses the
+	// same cap to fan per-scheme trace replays out in parallel.
 	Parallelism int
+
+	// NoReplay disables the record-once / replay-many fast path:
+	// Compare, CompareDetectors, and RunSuite execute every scheme
+	// directly instead of recording the benchmark's architectural
+	// trace once and replaying it per scheme. Replay is bit-exact
+	// (the differential tests pin replayed snapshots, DO databases,
+	// and telemetry against direct execution), so this switch only
+	// trades wall-clock time for paranoia. Single-run Run calls
+	// always execute directly.
+	NoReplay bool
 }
 
 // DefaultOptions returns the standard experiment configuration at the
@@ -188,7 +200,28 @@ type Result struct {
 	Hotspot *core.Report
 	// BBV is set for SchemeBBV runs.
 	BBV *bbv.Report
+
+	// Disposition reports how the run executed: RunDirect (plain
+	// execution), RunRecorded (direct execution that also captured
+	// the benchmark's architectural trace), RunReplayed (driven from
+	// a recorded trace), or RunFallback (replay diverged and the run
+	// re-executed directly). Replay is bit-exact, so the disposition
+	// never affects a measurement — it is run metadata, reported in
+	// RunSuite progress lines and telemetry but deliberately kept out
+	// of the schema-stable snapshot.
+	Disposition string
+	// Wall is the run's host wall-clock duration (for a fallback,
+	// including the abandoned replay attempt).
+	Wall time.Duration
 }
+
+// Run dispositions (Result.Disposition).
+const (
+	RunDirect   = "direct"
+	RunRecorded = "recorded"
+	RunReplayed = "replayed"
+	RunFallback = "fallback"
+)
 
 // ErrDeadline is the cause carried by a *RunError when a run exceeds
 // Options.Deadline.
@@ -233,7 +266,23 @@ func IsTransient(err error) bool {
 // The run executes under pprof labels ("bench", "scheme"), so CPU
 // profiles of a suite — including the concurrent RunSuite — attribute
 // samples to the benchmark×scheme cell that burned them.
-func Run(spec workload.Spec, scheme Scheme, opt Options) (res *Result, err error) {
+func Run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
+	start := time.Now()
+	res, err := guarded(spec, scheme, func() (*Result, error) {
+		return run(spec, scheme, opt)
+	})
+	if res != nil {
+		res.Disposition = RunDirect
+		res.Wall = time.Since(start)
+	}
+	return res, err
+}
+
+// guarded executes one run body under Run's isolation guard: the
+// pprof run labels and the panic-to-*RunError recovery. Direct,
+// recording, and replayed runs all share it, so an injected panic is
+// contained identically on every execution path.
+func guarded(spec workload.Spec, scheme Scheme, body func() (*Result, error)) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r == nil {
 			return
@@ -251,13 +300,53 @@ func Run(spec workload.Spec, scheme Scheme, opt Options) (res *Result, err error
 	}()
 	pprof.Do(context.Background(), pprof.Labels("bench", spec.Name, "scheme", scheme.String()),
 		func(context.Context) {
-			res, err = run(spec, scheme, opt)
+			res, err = body()
 		})
 	return res, err
 }
 
+// runState is one run's fully wired simulation — program, machine,
+// AOS, managers, telemetry, faults, and the composed block listener —
+// everything between option parsing and actual execution. Direct
+// execution hands it to a vm.Engine; trace replay (internal/rtrace)
+// drives the same state straight from a recorded architectural stream.
+type runState struct {
+	spec   workload.Spec
+	scheme Scheme
+	opt    Options
+
+	prog    *program.Program
+	mach    *machine.Machine
+	aos     *vm.AOS
+	hotMgr  *core.Manager
+	bbvMgr  *bbv.Manager
+	sampler *telemetry.Sampler
+	// listener is the composed block listener, nil when neither a
+	// temporal manager nor an interval sampler wants block events.
+	listener func(pc uint64, instrs int)
+}
+
 // run is the unguarded body of Run.
 func run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
+	st, err := newRunState(spec, scheme, opt)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := vm.NewEngine(st.prog, st.mach, st.aos)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
+	}
+	if st.listener != nil {
+		eng.SetBlockListener(st.listener)
+	}
+	if err := runEngine(eng, spec.Name, scheme, opt); err != nil {
+		return nil, err
+	}
+	return st.finish(), nil
+}
+
+// newRunState builds and wires one run's simulation state.
+func newRunState(spec workload.Spec, scheme Scheme, opt Options) (*runState, error) {
 	prog, err := spec.Build()
 	if err != nil {
 		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
@@ -327,11 +416,6 @@ func run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 		}
 	}
 
-	eng, err := vm.NewEngine(prog, mach, aos)
-	if err != nil {
-		return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
-	}
-
 	// Block listeners: the temporal manager's accumulator and the
 	// interval sampler share the engine's single listener slot.
 	var listeners []func(pc uint64, instrs int)
@@ -352,46 +436,52 @@ func run(spec workload.Spec, scheme Scheme, opt Options) (*Result, error) {
 		}
 		listeners = append(listeners, sampler.OnBlock)
 	}
+	st := &runState{
+		spec: spec, scheme: scheme, opt: opt,
+		prog: prog, mach: mach, aos: aos,
+		hotMgr: hotMgr, bbvMgr: bbvMgr, sampler: sampler,
+	}
 	switch len(listeners) {
 	case 1:
-		eng.SetBlockListener(listeners[0])
+		st.listener = listeners[0]
 	case 2:
 		l0, l1 := listeners[0], listeners[1]
-		eng.SetBlockListener(func(pc uint64, instrs int) {
+		st.listener = func(pc uint64, instrs int) {
 			l0(pc, instrs)
 			l1(pc, instrs)
-		})
+		}
 	}
+	return st, nil
+}
 
-	if err := runEngine(eng, spec.Name, scheme, opt); err != nil {
-		return nil, err
+// finish settles the telemetry sampler and reduces the machine and DO
+// database into the run's Result.
+func (st *runState) finish() *Result {
+	if st.sampler != nil {
+		st.sampler.Final()
 	}
-	if sampler != nil {
-		sampler.Final()
-	}
-
-	snap := mach.Snapshot()
+	snap := st.mach.Snapshot()
 	res := &Result{
-		Benchmark:   spec.Name,
-		Scheme:      scheme,
+		Benchmark:   st.spec.Name,
+		Scheme:      st.scheme,
 		Instr:       snap.Instr,
 		Cycles:      snap.Cycles,
 		IPC:         snap.IPC(),
 		L1DEnergyNJ: snap.L1DnJ,
 		L2EnergyNJ:  snap.L2nJ,
 		IQEnergyNJ:  snap.IQnJ,
-		Breakdown:   mach.Timing.Breakdown(),
-		AOS:         reduceAOS(aos),
+		Breakdown:   st.mach.Timing.Breakdown(),
+		AOS:         reduceAOS(st.aos),
 	}
-	if hotMgr != nil {
-		rep := hotMgr.Report()
+	if st.hotMgr != nil {
+		rep := st.hotMgr.Report()
 		res.Hotspot = &rep
 	}
-	if bbvMgr != nil {
-		rep := bbvMgr.Report()
+	if st.bbvMgr != nil {
+		rep := st.bbvMgr.Report()
 		res.BBV = &rep
 	}
-	return res, nil
+	return res
 }
 
 // deadlineChunk is the instruction budget between wall-clock checks
@@ -484,20 +574,16 @@ type Comparison struct {
 }
 
 // Compare runs a benchmark under all three schemes and derives the
-// figure metrics.
+// figure metrics. Unless Options.NoReplay is set, the benchmark's
+// architectural trace is recorded once (during the baseline run, or
+// fetched from the process-wide cache) and the other schemes replay it
+// — bit-identical to direct execution, at a fraction of the cost.
 func Compare(spec workload.Spec, opt Options) (*Comparison, error) {
-	base, err := Run(spec, SchemeBaseline, opt)
+	rs, err := schemeResults(spec, opt, []Scheme{SchemeBaseline, SchemeBBV, SchemeHotspot})
 	if err != nil {
 		return nil, err
 	}
-	bb, err := Run(spec, SchemeBBV, opt)
-	if err != nil {
-		return nil, err
-	}
-	hot, err := Run(spec, SchemeHotspot, opt)
-	if err != nil {
-		return nil, err
-	}
+	base, bb, hot := rs[0], rs[1], rs[2]
 	c := &Comparison{Name: spec.Name, Base: base, BBVRun: bb, HotRun: hot}
 	c.L1DSavingBBV = saving(base.L1DEnergyNJ, bb.L1DEnergyNJ)
 	c.L1DSavingHot = saving(base.L1DEnergyNJ, hot.L1DEnergyNJ)
@@ -554,24 +640,15 @@ type DetectorComparison struct {
 }
 
 // CompareDetectors runs a benchmark under the baseline, BBV, WSS, and
-// hotspot schemes.
+// hotspot schemes, with the same record-once / replay-many fast path
+// as Compare (sharing its trace cache — a Compare followed by a
+// CompareDetectors of the same benchmark records nothing twice).
 func CompareDetectors(spec workload.Spec, opt Options) (*DetectorComparison, error) {
-	base, err := Run(spec, SchemeBaseline, opt)
+	rs, err := schemeResults(spec, opt, []Scheme{SchemeBaseline, SchemeBBV, SchemeWSS, SchemeHotspot})
 	if err != nil {
 		return nil, err
 	}
-	bb, err := Run(spec, SchemeBBV, opt)
-	if err != nil {
-		return nil, err
-	}
-	ws, err := Run(spec, SchemeWSS, opt)
-	if err != nil {
-		return nil, err
-	}
-	hot, err := Run(spec, SchemeHotspot, opt)
-	if err != nil {
-		return nil, err
-	}
+	base, bb, ws, hot := rs[0], rs[1], rs[2], rs[3]
 	cacheNJ := func(r *Result) float64 { return r.L1DEnergyNJ + r.L2EnergyNJ }
 	return &DetectorComparison{
 		Name:           spec.Name,
@@ -653,8 +730,9 @@ func RunSuite(opt Options) ([]*Comparison, error) {
 					fmt.Fprintf(opt.Log, "suite: %-10s FAILED (%d/%d, %.1fs elapsed): %v\n",
 						spec.Name, n, len(specs), time.Since(start).Seconds(), errs[i])
 				} else {
-					fmt.Fprintf(opt.Log, "suite: %-10s done (%d/%d, %.1fs elapsed)\n",
-						spec.Name, n, len(specs), time.Since(start).Seconds())
+					fmt.Fprintf(opt.Log, "suite: %-10s done (%d/%d, %.1fs elapsed)%s\n",
+						spec.Name, n, len(specs), time.Since(start).Seconds(),
+						runsSummary(out[i].Base, out[i].BBVRun, out[i].HotRun))
 				}
 				logMu.Unlock()
 			}

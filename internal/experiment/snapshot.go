@@ -54,6 +54,14 @@ type RunSnapshot struct {
 
 	Promotions    uint64 `json:"promotions"`
 	OverheadInstr uint64 `json:"overhead_instr"`
+
+	// Optional run metadata, filled only by SnapshotWithMeta (e.g.
+	// `acetables -json -runmeta`): the run's record/replay disposition
+	// and host wall-clock time. Both are omitted by Snapshot, keeping
+	// default snapshots byte-identical across the replay fast path and
+	// schema-additive for downstream tooling.
+	Disposition string  `json:"disposition,omitempty"`
+	WallMS      float64 `json:"wall_ms,omitempty"`
 }
 
 // DerivedSnapshot carries the Figure 3/4 metrics: fractional energy
@@ -93,6 +101,24 @@ func (r *SuiteResults) Snapshot() BenchSnapshot {
 				SlowdownHot:  c.SlowdownHot,
 			},
 		})
+	}
+	return s
+}
+
+// SnapshotWithMeta is Snapshot plus the optional per-run metadata
+// fields: each run's record/replay disposition and wall-clock
+// milliseconds. The additions are omitempty-only, so consumers of the
+// schema-stable snapshot are unaffected unless they opt in.
+func (r *SuiteResults) SnapshotWithMeta() BenchSnapshot {
+	s := r.Snapshot()
+	fill := func(rs *RunSnapshot, res *Result) {
+		rs.Disposition = res.Disposition
+		rs.WallMS = float64(res.Wall.Microseconds()) / 1e3
+	}
+	for i, c := range r.Comparisons {
+		fill(&s.Benchmarks[i].Baseline, c.Base)
+		fill(&s.Benchmarks[i].BBV, c.BBVRun)
+		fill(&s.Benchmarks[i].Hotspot, c.HotRun)
 	}
 	return s
 }

@@ -389,10 +389,141 @@ func (m *Machine) FetchLines(first, last uint64) {
 	}
 }
 
+// FetchLinesObserved performs FetchLines while reporting each line's
+// I-TLB and L1I outcomes as bitmasks (bit i set = the walk's i-th line
+// missed). Both structures have fixed configurations, so the masks are
+// scheme-invariant and a trace replayer can re-apply them without
+// re-simulating either structure. ok is false when the range spans
+// more than 64 lines (the masks cannot represent it); the accesses
+// still happen in full, only the observation is incomplete.
+func (m *Machine) FetchLinesObserved(first, last uint64) (tlbMask, missMask uint64, ok bool) {
+	ok = true
+	i := 0
+	for addr := first; ; addr += iLineBytes {
+		if i >= 64 {
+			ok = false
+			m.FetchLines(addr, last)
+			return tlbMask, missMask, false
+		}
+		if !m.ITLB.Access(addr) {
+			m.Timing.TLBMiss()
+			tlbMask |= 1 << i
+		}
+		m.ML1I.Access()
+		r := m.L1I.Access(addr, false)
+		if r.Writeback {
+			m.l2Access(r.WritebackAddr, true)
+		}
+		if !r.Hit {
+			m.Timing.L1Miss()
+			missMask |= 1 << i
+			m.l2Access(addr, false)
+		}
+		if addr == last {
+			break
+		}
+		i++
+	}
+	return tlbMask, missMask, ok
+}
+
+// ColdFetchMasks reconstructs the FetchLinesObserved outcome of the
+// very first fetch walk on cold structures — the engine's
+// construction-time entry push, which runs before a recorder can be
+// installed. With an empty L1I every line misses; with an empty I-TLB
+// a line misses exactly when it is the walk's first line of its page.
+func (m *Machine) ColdFetchMasks(first, last uint64) (tlbMask, missMask uint64, ok bool) {
+	page := uint64(m.cfg.PageBytes)
+	if page == 0 {
+		page = 4096
+	}
+	prevPage := ^uint64(0)
+	i := 0
+	for addr := first; ; addr += iLineBytes {
+		if i >= 64 {
+			return tlbMask, missMask, false
+		}
+		if p := addr / page; p != prevPage {
+			tlbMask |= 1 << i
+			prevPage = p
+		}
+		missMask |= 1 << i
+		if addr == last {
+			break
+		}
+		i++
+	}
+	return tlbMask, missMask, true
+}
+
+// ReplayFetchLines applies a recorded fetch walk: the fixed
+// I-TLB/L1I outcomes charge the timing model directly from the masks,
+// and each recorded L1I miss still drives the live (resizable, shared)
+// L2 at the same address and in the same order as direct execution.
+// L1I lines are never dirty, so a fetch walk generates no writebacks.
+func (m *Machine) ReplayFetchLines(first, last, tlbMask, missMask uint64) {
+	i := 0
+	for addr := first; ; addr += iLineBytes {
+		if tlbMask&(1<<i) != 0 {
+			m.Timing.TLBMiss()
+		}
+		m.ML1I.Access()
+		if missMask&(1<<i) != 0 {
+			m.Timing.L1Miss()
+			m.l2Access(addr, false)
+		}
+		if addr == last {
+			break
+		}
+		i++
+	}
+}
+
 // Data simulates a data access to the given word address.
 func (m *Machine) Data(wordAddr uint64, write bool) {
 	addr := wordAddr * 8
 	if !m.DTLB.Access(addr) {
+		m.Timing.TLBMiss()
+	}
+	m.ML1D.Access()
+	r := m.L1D.Access(addr, write)
+	if r.Writeback {
+		m.l2Access(r.WritebackAddr, true)
+	}
+	if !r.Hit {
+		m.Timing.L1Miss()
+		m.l2Access(addr, false)
+	}
+}
+
+// DataObserved performs Data while reporting the D-TLB outcome — the
+// one scheme-invariant piece of a data access (the L1D and L2 are
+// resizable and must be simulated live on replay).
+func (m *Machine) DataObserved(wordAddr uint64, write bool) (tlbMiss bool) {
+	addr := wordAddr * 8
+	if !m.DTLB.Access(addr) {
+		m.Timing.TLBMiss()
+		tlbMiss = true
+	}
+	m.ML1D.Access()
+	r := m.L1D.Access(addr, write)
+	if r.Writeback {
+		m.l2Access(r.WritebackAddr, true)
+	}
+	if !r.Hit {
+		m.Timing.L1Miss()
+		m.l2Access(addr, false)
+	}
+	return tlbMiss
+}
+
+// ReplayData applies a recorded data access: the D-TLB outcome charges
+// the timing model from the recorded bit, while the resizable L1D and
+// L2 — whose behavior depends on the scheme under replay — simulate
+// live, writebacks included.
+func (m *Machine) ReplayData(wordAddr uint64, write, tlbMiss bool) {
+	addr := wordAddr * 8
+	if tlbMiss {
 		m.Timing.TLBMiss()
 	}
 	m.ML1D.Access()
@@ -416,9 +547,22 @@ func (m *Machine) l2Access(addr uint64, write bool) {
 
 // CondBranch records the outcome of the conditional branch at global
 // instruction index pc and charges a misprediction if the combined
-// predictor got it wrong.
-func (m *Machine) CondBranch(pc uint64, outcome bool) {
+// predictor got it wrong. It returns the predictor's verdict — the
+// predictor is fixed hardware, so the verdict is scheme-invariant and
+// recordable.
+func (m *Machine) CondBranch(pc uint64, outcome bool) bool {
 	if !m.Pred.Predict(pc, outcome) {
+		m.Timing.Mispredict()
+		return false
+	}
+	return true
+}
+
+// ReplayBranch applies a recorded conditional branch: the predictor's
+// verdict was captured at record time, so replay only charges the
+// misprediction without consulting (or updating) the predictor.
+func (m *Machine) ReplayBranch(correct bool) {
+	if !correct {
 		m.Timing.Mispredict()
 	}
 }

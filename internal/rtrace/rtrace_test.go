@@ -1,0 +1,124 @@
+package rtrace
+
+import (
+	"errors"
+	"testing"
+
+	"acedo/internal/machine"
+	"acedo/internal/vm"
+	"acedo/internal/workload"
+)
+
+// testEnv builds a minimal live environment for replay error-path
+// tests (the bit-exactness of successful replays is pinned end-to-end
+// by the experiment package's differential tests).
+func testEnv(t *testing.T) Env {
+	t.Helper()
+	spec, ok := workload.ByName("jess")
+	if !ok {
+		t.Fatal("no jess benchmark")
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := machine.New(machine.PaperConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Env{Prog: prog, Mach: mach, AOS: vm.NewAOS(vm.DefaultParams(), mach, prog)}
+}
+
+func TestRecorderCountsAndSeals(t *testing.T) {
+	r := NewRecorder()
+	r.RecordEnter(0, 1, 1, true) // cold entry: extended form
+	r.RecordBatch(5)
+	r.RecordData(100, false, true) // D-TLB miss: extended form
+	r.RecordData(101, true, false) // warm, small delta: 1 byte
+	r.RecordBranch(true)
+	r.RecordBlock(1, 0, 0, true) // warm block: 1 byte
+	r.RecordExit()
+	r.RecordHalt()
+	tr, err := r.Finish(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 8 {
+		t.Errorf("events = %d, want 8", tr.Events())
+	}
+	if tr.Truncated() {
+		t.Error("halted trace marked truncated")
+	}
+	if tr.Size() == 0 || tr.Size() > 64 {
+		t.Errorf("size = %d, want small and non-zero", tr.Size())
+	}
+}
+
+func TestTruncatedFlag(t *testing.T) {
+	r := NewRecorder()
+	r.RecordBatch(1)
+	tr, err := r.Finish(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Truncated() {
+		t.Error("budget-stopped trace not marked truncated")
+	}
+}
+
+func TestOversizedBlockInvalidatesRecording(t *testing.T) {
+	r := NewRecorder()
+	r.RecordBlock(0, 0, 0, false) // spans > 64 lines: unencodable
+	if _, err := r.Finish(true); err == nil {
+		t.Error("Finish accepted an unencodable recording")
+	}
+}
+
+func TestChunkSealing(t *testing.T) {
+	r := NewRecorder()
+	// Large alternating deltas force multi-byte events; enough of them
+	// force several chunks.
+	const n = 40_000
+	for i := 0; i < n; i++ {
+		r.RecordData(uint64(i)*1_000_003, i%2 == 0, false)
+		r.RecordBatch(1 << 20) // uvarint-escaped operand
+	}
+	tr, err := r.Finish(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 2*n {
+		t.Errorf("events = %d, want %d", tr.Events(), 2*n)
+	}
+	if len(tr.chunks) < 2 {
+		t.Errorf("chunks = %d, want several (size %d)", len(tr.chunks), tr.Size())
+	}
+	for i, c := range tr.chunks {
+		if len(c) > chunkBytes {
+			t.Errorf("chunk %d overflows: %d bytes", i, len(c))
+		}
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	for _, d := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), 1<<63 - 1, -(1 << 62)} {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Errorf("unzigzag(zigzag(%d)) = %d", d, got)
+		}
+	}
+}
+
+func TestReplayMalformed(t *testing.T) {
+	env := testEnv(t)
+	cases := map[string]*Trace{
+		"missing end marker": {chunks: [][]byte{{}}},
+		"unknown ext":        {chunks: [][]byte{{kExt | 20<<3}}},
+		"bad operand":        {chunks: [][]byte{{kBatch | payloadEscape<<3}}},
+		"exit underflow":     {chunks: [][]byte{{kExit}}},
+	}
+	for name, tr := range cases {
+		if err := tr.Replay(env); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}

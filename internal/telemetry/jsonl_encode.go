@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"unicode/utf8"
+)
+
+// jsonlEncoder renders events into a reused byte buffer, emitting the
+// exact bytes encoding/json would (field order, omitempty handling,
+// HTML-escaped strings, ES6-style float formatting, sorted map keys)
+// without allocating: the hot path of a telemetry-heavy run emits
+// millions of events, and json.Marshal's per-call buffer was the
+// sink's dominant allocation source. Byte-for-byte equivalence with
+// json.Marshal is pinned by a corpus test, and the zero-allocation
+// property by an allocation benchmark.
+type jsonlEncoder struct {
+	buf  []byte
+	keys []string // reused scratch for sorting Settings map keys
+	err  error
+}
+
+// encode renders one event as a JSON object into the reused buffer and
+// returns it (valid until the next encode call).
+func (c *jsonlEncoder) encode(e Event) ([]byte, error) {
+	c.buf = c.buf[:0]
+	c.err = nil
+	c.byte('{')
+	c.stringField("type", string(e.Type))
+	c.uintField("instr", e.Instr)
+	if e.Bench != "" {
+		c.stringField("bench", e.Bench)
+	}
+	if e.Scheme != "" {
+		c.stringField("scheme", e.Scheme)
+	}
+	if p := e.Reconfigure; p != nil {
+		c.objectField("reconfigure")
+		c.stringField("unit", p.Unit)
+		c.intField("setting", p.Setting)
+		c.byte('}')
+	}
+	if p := e.Promotion; p != nil {
+		c.objectField("promotion")
+		c.stringField("method", p.Method)
+		c.byte('}')
+	}
+	if p := e.Tuner; p != nil {
+		c.objectField("tuner")
+		c.stringField("method", p.Method)
+		if p.Class != "" {
+			c.stringField("class", p.Class)
+		}
+		if len(p.Config) > 0 {
+			c.intsField("config", p.Config)
+		}
+		if p.IPC != 0 {
+			c.floatField("ipc", p.IPC)
+		}
+		if p.EPI != 0 {
+			c.floatField("epi_nj", p.EPI)
+		}
+		if p.Passive {
+			c.boolField("passive", p.Passive)
+		}
+		if p.Completed {
+			c.boolField("completed", p.Completed)
+		}
+		c.byte('}')
+	}
+	if p := e.Phase; p != nil {
+		c.objectField("phase")
+		c.intField("phase", p.Phase)
+		if p.Stable {
+			c.boolField("stable", p.Stable)
+		}
+		if len(p.Config) > 0 {
+			c.intsField("config", p.Config)
+		}
+		if p.IPC != 0 {
+			c.floatField("ipc", p.IPC)
+		}
+		c.byte('}')
+	}
+	if p := e.Interval; p != nil {
+		c.objectField("interval")
+		c.uintField("seq", p.Seq)
+		c.uintField("instr", p.Instr)
+		c.uintField("cycles", p.Cycles)
+		c.floatField("ipc", p.IPC)
+		c.uintField("l1d_accesses", p.L1DAccesses)
+		c.floatField("l1d_miss_rate", p.L1DMissRate)
+		c.uintField("l2_accesses", p.L2Accesses)
+		c.floatField("l2_miss_rate", p.L2MissRate)
+		c.floatField("l1d_nj", p.L1DNJ)
+		c.floatField("l2_nj", p.L2NJ)
+		if p.IQNJ != 0 {
+			c.floatField("iq_nj", p.IQNJ)
+		}
+		c.settingsField("settings", p.Settings)
+		c.byte('}')
+	}
+	if p := e.Degraded; p != nil {
+		c.objectField("degraded")
+		c.stringField("scope", p.Scope)
+		if p.Method != "" {
+			c.stringField("method", p.Method)
+		}
+		if p.Class != "" {
+			c.stringField("class", p.Class)
+		}
+		if p.Phase != 0 {
+			c.intField("phase", p.Phase)
+		}
+		if p.Retunes != 0 {
+			c.intField("retunes", p.Retunes)
+		}
+		if p.Flips != 0 {
+			c.intField("flips", p.Flips)
+		}
+		if len(p.Config) > 0 {
+			c.intsField("config", p.Config)
+		}
+		c.byte('}')
+	}
+	if p := e.Replay; p != nil {
+		c.objectField("replay")
+		c.stringField("disposition", p.Disposition)
+		if p.Reason != "" {
+			c.stringField("reason", p.Reason)
+		}
+		if p.TraceEvents != 0 {
+			c.uintField("trace_events", p.TraceEvents)
+		}
+		if p.TraceBytes != 0 {
+			c.uintField("trace_bytes", p.TraceBytes)
+		}
+		c.byte('}')
+	}
+	c.byte('}')
+	return c.buf, c.err
+}
+
+func (c *jsonlEncoder) byte(b byte) { c.buf = append(c.buf, b) }
+
+// key writes `,"name":` (or `"name":` right after an opening brace).
+func (c *jsonlEncoder) key(name string) {
+	if n := len(c.buf); n > 0 && c.buf[n-1] != '{' {
+		c.buf = append(c.buf, ',')
+	}
+	c.buf = append(c.buf, '"')
+	c.buf = append(c.buf, name...)
+	c.buf = append(c.buf, '"', ':')
+}
+
+func (c *jsonlEncoder) objectField(name string) {
+	c.key(name)
+	c.byte('{')
+}
+
+func (c *jsonlEncoder) stringField(name, v string) {
+	c.key(name)
+	c.str(v)
+}
+
+func (c *jsonlEncoder) uintField(name string, v uint64) {
+	c.key(name)
+	c.buf = strconv.AppendUint(c.buf, v, 10)
+}
+
+func (c *jsonlEncoder) intField(name string, v int) {
+	c.key(name)
+	c.buf = strconv.AppendInt(c.buf, int64(v), 10)
+}
+
+func (c *jsonlEncoder) boolField(name string, v bool) {
+	c.key(name)
+	if v {
+		c.buf = append(c.buf, "true"...)
+	} else {
+		c.buf = append(c.buf, "false"...)
+	}
+}
+
+func (c *jsonlEncoder) intsField(name string, vs []int) {
+	c.key(name)
+	c.byte('[')
+	for i, v := range vs {
+		if i > 0 {
+			c.byte(',')
+		}
+		c.buf = strconv.AppendInt(c.buf, int64(v), 10)
+	}
+	c.byte(']')
+}
+
+// floatField mirrors encoding/json's float encoding: shortest
+// round-trip representation, ES6-style — exponent form only below
+// 1e-6 or at/above 1e21, with two-digit negative exponents trimmed
+// ("1e-09" → "1e-9"). Non-finite values are unencodable, exactly as
+// in json.Marshal.
+func (c *jsonlEncoder) floatField(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		if c.err == nil {
+			c.err = fmt.Errorf("json: unsupported value: %v", v)
+		}
+		return
+	}
+	c.key(name)
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	c.buf = strconv.AppendFloat(c.buf, v, format, -1, 64)
+	if format == 'e' {
+		if n := len(c.buf); n >= 4 && c.buf[n-4] == 'e' && c.buf[n-3] == '-' && c.buf[n-2] == '0' {
+			c.buf[n-2] = c.buf[n-1]
+			c.buf = c.buf[:n-1]
+		}
+	}
+}
+
+// settingsField writes the Settings map with sorted keys (the order
+// encoding/json uses), reusing the key scratch slice across events.
+func (c *jsonlEncoder) settingsField(name string, m map[string]int) {
+	c.key(name)
+	if m == nil {
+		c.buf = append(c.buf, "null"...)
+		return
+	}
+	c.keys = c.keys[:0]
+	for k := range m {
+		c.keys = append(c.keys, k)
+	}
+	sort.Strings(c.keys)
+	c.byte('{')
+	for i, k := range c.keys {
+		if i > 0 {
+			c.byte(',')
+		}
+		c.str(k)
+		c.byte(':')
+		c.buf = strconv.AppendInt(c.buf, int64(m[k]), 10)
+	}
+	c.byte('}')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// str writes a JSON string with encoding/json's default escaping:
+// control characters, quotes, backslashes, the HTML-sensitive
+// characters < > &, invalid UTF-8 (replaced by U+FFFD), and the
+// JS-hostile line separators U+2028/U+2029.
+func (c *jsonlEncoder) str(s string) {
+	c.byte('"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			c.buf = append(c.buf, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				c.buf = append(c.buf, '\\', b)
+			case '\n':
+				c.buf = append(c.buf, '\\', 'n')
+			case '\r':
+				c.buf = append(c.buf, '\\', 'r')
+			case '\t':
+				c.buf = append(c.buf, '\\', 't')
+			default:
+				c.buf = append(c.buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			c.buf = append(c.buf, s[start:i]...)
+			c.buf = append(c.buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == 0x2028 || r == 0x2029 {
+			c.buf = append(c.buf, s[start:i]...)
+			c.buf = append(c.buf, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	c.buf = append(c.buf, s[start:]...)
+	c.byte('"')
+}

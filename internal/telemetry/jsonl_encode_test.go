@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"testing"
+)
+
+// encodeCorpus exercises every event shape, every omitempty branch,
+// float formats across the 'f'/'e' boundary, string escaping (HTML
+// characters, control characters, multi-byte UTF-8, invalid UTF-8),
+// and nil/empty/populated Settings maps.
+func encodeCorpus() []Event {
+	return []Event{
+		Reconfigure("l1d", 32*1024, 12345),
+		Promotion("jess.match<T>&co", 99),
+		{Type: TypePromotion, Instr: 1, Bench: "db", Scheme: "hotspot",
+			Promotion: &PromotionEvent{Method: "a\"b\\c\nd\te\x01f\x80g h ü"}},
+		{Type: TypeTuneStep, Instr: 2, Tuner: &TunerEvent{Method: "m", Config: []int{1, 2, 3}, IPC: 3.25, EPI: 0.000000123}},
+		{Type: TypeTuned, Instr: 3, Tuner: &TunerEvent{Method: "m", Class: "major", Passive: true, Completed: true}},
+		{Type: TypeRetune, Instr: 4, Tuner: &TunerEvent{Method: "m", IPC: 1e21, EPI: 9.99e-7}},
+		{Type: TypePhase, Instr: 5, Phase: &PhaseEvent{Phase: 7, Stable: true}},
+		{Type: TypePhaseTuned, Instr: 6, Phase: &PhaseEvent{Phase: 0, Config: []int{65536}, IPC: 2.5}},
+		{Type: TypeInterval, Instr: 7, Interval: &IntervalMetrics{
+			Seq: 1, Instr: 100000, Cycles: 35000, IPC: 2.857142857142857,
+			L1DAccesses: 5000, L1DMissRate: 0.0125, L2Accesses: 62, L2MissRate: 1,
+			L1DNJ: 1234.5678, L2NJ: 1e-9,
+			Settings: map[string]int{"l2": 1 << 20, "l1d": 64 << 10, "iq": 32},
+		}},
+		{Type: TypeInterval, Instr: 8, Interval: &IntervalMetrics{Settings: map[string]int{}}},
+		{Type: TypeInterval, Instr: 9, Interval: &IntervalMetrics{IQNJ: 42.42}},
+		{Type: TypeDegraded, Instr: 10, Degraded: &DegradedEvent{Scope: "hotspot", Method: "m", Class: "c", Retunes: 5, Config: []int{1}}},
+		{Type: TypeDegraded, Instr: 11, Degraded: &DegradedEvent{Scope: "phase", Phase: 3, Flips: 9}},
+		Replay("replayed", "", 123456, 7890),
+		Replay("fallback", "rtrace: replayed scheme diverged from recorded stream", 1, 1),
+		{Type: TypeReplay, Replay: &ReplayEvent{Disposition: "recorded"}},
+		{Type: "future-type", Instr: math.MaxUint64},
+	}
+}
+
+// TestEncoderMatchesEncodingJSON pins the hand-rolled encoder's output
+// byte-for-byte against json.Marshal over the corpus — the property
+// that lets the zero-allocation path replace it safely.
+func TestEncoderMatchesEncodingJSON(t *testing.T) {
+	var enc jsonlEncoder
+	for _, e := range encodeCorpus() {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", e, err)
+		}
+		got, err := enc.encode(e)
+		if err != nil {
+			t.Fatalf("encode(%+v): %v", e, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("encoding mismatch for %s event:\n got %s\nwant %s", e.Type, got, want)
+		}
+	}
+}
+
+// TestEncoderRejectsNonFinite: json.Marshal fails on NaN/Inf; the
+// hand-rolled encoder must too (the JSONL sink turns it into its
+// sticky error).
+func TestEncoderRejectsNonFinite(t *testing.T) {
+	var enc jsonlEncoder
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		e := Event{Type: TypeInterval, Interval: &IntervalMetrics{IPC: v}}
+		if _, err := enc.encode(e); err == nil {
+			t.Errorf("encode accepted non-finite IPC %v", v)
+		}
+	}
+}
+
+// TestJSONLEmitZeroAlloc enforces the sink's steady-state allocation
+// contract: after warm-up, Emit performs zero allocations per event.
+func TestJSONLEmitZeroAlloc(t *testing.T) {
+	s := NewJSONL(io.Discard)
+	events := encodeCorpus()
+	// Warm up: grow the encoder buffer, key scratch, and bufio writer
+	// to steady state.
+	for _, e := range events {
+		s.Emit(e)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Emit(events[i%len(events)])
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Emit allocates %.1f times per event at steady state, want 0", allocs)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkJSONLEmit measures the sink's per-event cost; run with
+// -benchmem to see the 0 allocs/op steady-state figure.
+func BenchmarkJSONLEmit(b *testing.B) {
+	s := NewJSONL(io.Discard)
+	events := encodeCorpus()
+	for _, e := range events {
+		s.Emit(e)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(events[i%len(events)])
+	}
+	b.StopTimer()
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -14,7 +14,6 @@ package telemetry
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -49,6 +48,11 @@ const (
 	// temporal manager gave up adapting and pinned its units to the
 	// full-size safe configuration.
 	TypeDegraded Type = "degraded"
+	// TypeReplay is a run-disposition report from the experiment
+	// layer's record-once / replay-many fast path: whether a run was
+	// replayed from the benchmark's recorded architectural trace or
+	// fell back to direct execution (with the divergence reason).
+	TypeReplay Type = "replay"
 )
 
 // Event is one entry of the run's event log. Type selects which of the
@@ -67,6 +71,7 @@ type Event struct {
 	Phase       *PhaseEvent       `json:"phase,omitempty"`
 	Interval    *IntervalMetrics  `json:"interval,omitempty"`
 	Degraded    *DegradedEvent    `json:"degraded,omitempty"`
+	Replay      *ReplayEvent      `json:"replay,omitempty"`
 }
 
 // ReconfigureEvent is an accepted configuration change: the unit and
@@ -160,6 +165,24 @@ func Promotion(method string, instr uint64) Event {
 		Promotion: &PromotionEvent{Method: method}}
 }
 
+// ReplayEvent reports a run's record/replay disposition. Disposition
+// is "recorded", "replayed", or "fallback"; Reason carries the
+// divergence detail for fallbacks.
+type ReplayEvent struct {
+	Disposition string `json:"disposition"`
+	Reason      string `json:"reason,omitempty"`
+	// TraceEvents/TraceBytes describe the trace involved.
+	TraceEvents uint64 `json:"trace_events,omitempty"`
+	TraceBytes  uint64 `json:"trace_bytes,omitempty"`
+}
+
+// Replay builds a run-disposition event.
+func Replay(disposition, reason string, events, bytes uint64) Event {
+	return Event{Type: TypeReplay,
+		Replay: &ReplayEvent{Disposition: disposition, Reason: reason,
+			TraceEvents: events, TraceBytes: bytes}}
+}
+
 // MachineReconfigure adapts a Sink to the machine's OnReconfigure
 // callback signature:
 //
@@ -174,9 +197,15 @@ func MachineReconfigure(s Sink) func(unit string, setting int, instr uint64) {
 // event, append-only, greppable, and stable under schema growth (new
 // optional fields only). Emit is safe for concurrent use, so one JSONL
 // sink can serve a whole parallel suite run.
+//
+// Emit is allocation-free at steady state: events are rendered by a
+// hand-rolled encoder (byte-identical to encoding/json; see
+// jsonlEncoder) into a buffer reused across events, then appended to
+// the buffered writer.
 type JSONL struct {
 	mu  sync.Mutex
 	buf *bufio.Writer
+	enc jsonlEncoder
 	err error
 }
 
@@ -194,7 +223,7 @@ func (s *JSONL) Emit(e Event) {
 	if s.err != nil {
 		return
 	}
-	b, err := json.Marshal(e)
+	b, err := s.enc.encode(e)
 	if err != nil {
 		s.err = err
 		return
@@ -316,6 +345,7 @@ func (e Event) Validate() error {
 		TypePhaseTuned:  e.Phase != nil,
 		TypeInterval:    e.Interval != nil,
 		TypeDegraded:    e.Degraded != nil,
+		TypeReplay:      e.Replay != nil,
 	}
 	ok, known := want[e.Type]
 	if !known {

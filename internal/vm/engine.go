@@ -101,6 +101,12 @@ type Engine struct {
 	// blockListener, when set, observes every basic-block entry
 	// (the feed for the BBV accumulator hardware).
 	blockListener func(pc uint64, instrs int)
+
+	// rec, when set, observes the architectural event stream (see
+	// SetRecorder in record.go). Recording swaps the machine's fetch
+	// and data calls for their outcome-observing variants; it never
+	// changes what the machine simulates.
+	rec Recorder
 }
 
 // SetBlockListener installs a basic-block entry observer. Pass nil to
@@ -180,7 +186,12 @@ func (e *Engine) push(id program.MethodID, retReg uint8) {
 	f.entryInstr = e.mach.Instructions()
 	f.idx = 0
 	f.block = f.m.Blocks[0]
-	e.mach.FetchLines(f.block.FirstLine, f.block.LastLine)
+	if e.rec != nil {
+		tlb, miss, ok := e.mach.FetchLinesObserved(f.block.FirstLine, f.block.LastLine)
+		e.rec.RecordEnter(id, tlb, miss, ok)
+	} else {
+		e.mach.FetchLines(f.block.FirstLine, f.block.LastLine)
+	}
 	if e.blockListener != nil {
 		e.blockListener(f.block.PC, len(f.block.Instrs))
 	}
@@ -193,7 +204,12 @@ func (e *Engine) push(id program.MethodID, retReg uint8) {
 func (e *Engine) enterBlock(f *frame, idx int) {
 	f.block = f.m.Blocks[idx]
 	f.idx = 0
-	e.mach.FetchLines(f.block.FirstLine, f.block.LastLine)
+	if e.rec != nil {
+		tlb, miss, ok := e.mach.FetchLinesObserved(f.block.FirstLine, f.block.LastLine)
+		e.rec.RecordBlock(idx, tlb, miss, ok)
+	} else {
+		e.mach.FetchLines(f.block.FirstLine, f.block.LastLine)
+	}
 	if e.blockListener != nil {
 		e.blockListener(f.block.PC, len(f.block.Instrs))
 	}
@@ -275,7 +291,11 @@ func (e *Engine) Run(maxInstr uint64) error {
 						fastErr = e.fault(f, fmt.Sprintf("load address %d out of range [0,%d)", addr, len(e.mem)))
 						break walk
 					}
-					e.mach.Data(uint64(addr), false)
+					if e.rec != nil {
+						e.rec.RecordData(uint64(addr), false, e.mach.DataObserved(uint64(addr), false))
+					} else {
+						e.mach.Data(uint64(addr), false)
+					}
 					f.regs[op.A] = e.mem[addr]
 					i++
 				case isa.OpStore:
@@ -286,7 +306,11 @@ func (e *Engine) Run(maxInstr uint64) error {
 						fastErr = e.fault(f, fmt.Sprintf("store address %d out of range [0,%d)", addr, len(e.mem)))
 						break walk
 					}
-					e.mach.Data(uint64(addr), true)
+					if e.rec != nil {
+						e.rec.RecordData(uint64(addr), true, e.mach.DataObserved(uint64(addr), true))
+					} else {
+						e.mach.Data(uint64(addr), true)
+					}
 					e.mem[addr] = f.regs[op.A]
 					i++
 				case isa.OpBr, isa.OpBrZ, isa.OpJmp:
@@ -302,6 +326,9 @@ func (e *Engine) Run(maxInstr uint64) error {
 			}
 			if n > 0 {
 				e.mach.IssueBatch(n)
+				if e.rec != nil {
+					e.rec.RecordBatch(n)
+				}
 				if e.sampleEvery != 0 {
 					if now := e.mach.Instructions(); now >= e.aos.nextSample {
 						for t := e.aos.sampleDueN(now, n); t > 0; t-- {
@@ -324,7 +351,10 @@ func (e *Engine) Run(maxInstr uint64) error {
 						e.enterBlock(f, int(br.Imm))
 					default:
 						taken := (f.regs[br.A] != 0) == (br.Op == isa.OpBr)
-						e.mach.CondBranch(f.block.PC+uint64(brIdx), taken)
+						correct := e.mach.CondBranch(f.block.PC+uint64(brIdx), taken)
+						if e.rec != nil {
+							e.rec.RecordBranch(correct)
+						}
 						if taken {
 							e.enterBlock(f, int(br.Imm))
 						}
@@ -338,6 +368,9 @@ func (e *Engine) Run(maxInstr uint64) error {
 		// Stepped path: one instruction at a time — the reference
 		// semantics (and the cold tier in ModeTiered).
 		e.mach.Issue(1)
+		if e.rec != nil {
+			e.rec.RecordBatch(1)
+		}
 		if e.sampleEvery != 0 {
 			for t := e.aos.sampleDue(e.mach.Instructions()); t > 0; t-- {
 				for i := 0; i < e.depth; i++ {
@@ -421,7 +454,11 @@ func (e *Engine) Run(maxInstr uint64) error {
 			if addr < 0 || addr >= int64(len(e.mem)) {
 				return e.fault(f, fmt.Sprintf("load address %d out of range [0,%d)", addr, len(e.mem)))
 			}
-			e.mach.Data(uint64(addr), false)
+			if e.rec != nil {
+				e.rec.RecordData(uint64(addr), false, e.mach.DataObserved(uint64(addr), false))
+			} else {
+				e.mach.Data(uint64(addr), false)
+			}
 			f.regs[op.A] = e.mem[addr]
 			f.idx++
 		case isa.OpStore:
@@ -429,13 +466,20 @@ func (e *Engine) Run(maxInstr uint64) error {
 			if addr < 0 || addr >= int64(len(e.mem)) {
 				return e.fault(f, fmt.Sprintf("store address %d out of range [0,%d)", addr, len(e.mem)))
 			}
-			e.mach.Data(uint64(addr), true)
+			if e.rec != nil {
+				e.rec.RecordData(uint64(addr), true, e.mach.DataObserved(uint64(addr), true))
+			} else {
+				e.mach.Data(uint64(addr), true)
+			}
 			e.mem[addr] = f.regs[op.A]
 			f.idx++
 
 		case isa.OpBr:
 			taken := f.regs[op.A] != 0
-			e.mach.CondBranch(f.block.PC+uint64(f.idx), taken)
+			correct := e.mach.CondBranch(f.block.PC+uint64(f.idx), taken)
+			if e.rec != nil {
+				e.rec.RecordBranch(correct)
+			}
 			if taken {
 				e.enterBlock(f, int(op.Imm))
 			} else {
@@ -443,7 +487,10 @@ func (e *Engine) Run(maxInstr uint64) error {
 			}
 		case isa.OpBrZ:
 			taken := f.regs[op.A] == 0
-			e.mach.CondBranch(f.block.PC+uint64(f.idx), taken)
+			correct := e.mach.CondBranch(f.block.PC+uint64(f.idx), taken)
+			if e.rec != nil {
+				e.rec.RecordBranch(correct)
+			}
 			if taken {
 				e.enterBlock(f, int(op.Imm))
 			} else {
@@ -479,6 +526,9 @@ func (e *Engine) Run(maxInstr uint64) error {
 		case isa.OpRet:
 			val := f.regs[op.A]
 			e.aos.methodExit(f.m.ID, e.mach.Instructions()-f.entryInstr)
+			if e.rec != nil {
+				e.rec.RecordExit()
+			}
 			e.depth--
 			if e.depth == 0 {
 				// Returning from the entry method ends the
@@ -491,6 +541,9 @@ func (e *Engine) Run(maxInstr uint64) error {
 			f = caller
 
 		case isa.OpHalt:
+			if e.rec != nil {
+				e.rec.RecordHalt()
+			}
 			e.unwindOnHalt()
 			e.halted = true
 			return nil

@@ -1,0 +1,85 @@
+package vm
+
+import (
+	"fmt"
+
+	"acedo/internal/program"
+)
+
+// Recorder observes the engine's architectural event stream during a
+// recording run (record-once / replay-many; see internal/rtrace). The
+// engine reports every event that touches the machine model, in
+// execution order: method entries and intra-method block entries carry
+// the block's I-TLB and L1I per-line miss masks (bit i = line
+// FirstLine+64i missed; ok is false when the block spans more than 64
+// lines and the masks cannot represent it), data accesses carry the
+// D-TLB outcome, conditional branches carry the predictor's verdict,
+// and retire batches carry their length. Those fixed-configuration
+// outcomes are scheme-invariant, so a replayer can re-simulate any
+// adaptation scheme from the stream without re-running the fixed
+// hardware or the register file.
+//
+// A recorder must not call back into the engine, the machine, or the
+// AOS.
+type Recorder interface {
+	RecordEnter(id program.MethodID, tlbMask, missMask uint64, ok bool)
+	RecordBlock(idx int, tlbMask, missMask uint64, ok bool)
+	RecordBatch(n uint64)
+	RecordData(wordAddr uint64, write, tlbMiss bool)
+	RecordBranch(correct bool)
+	RecordExit()
+	RecordHalt()
+}
+
+// SetRecorder installs (or, with nil, removes) an architectural-stream
+// recorder. Recording does not perturb the simulation: the engine
+// issues the identical machine calls, merely observing their outcomes.
+//
+// It must be called on a fresh engine — immediately after NewEngine,
+// before any Run. The entry method's construction-time push executed
+// before the recorder existed, so SetRecorder re-reports it with the
+// cold-structure fetch outcomes reconstructed by the machine (the
+// I-TLB and L1I were empty when that push ran, making the outcomes a
+// pure function of the block's line range).
+func (e *Engine) SetRecorder(r Recorder) error {
+	if r == nil {
+		e.rec = nil
+		return nil
+	}
+	if e.depth != 1 || e.frames[0].idx != 0 || e.frames[0].block.Index != 0 ||
+		e.mach.Instructions() != 0 {
+		return fmt.Errorf("vm: recorder must be installed on a fresh engine")
+	}
+	e.rec = r
+	b := e.frames[0].block
+	tlb, miss, ok := e.mach.ColdFetchMasks(b.FirstLine, b.LastLine)
+	r.RecordEnter(e.frames[0].m.ID, tlb, miss, ok)
+	return nil
+}
+
+// ReplayMethodEnter drives the AOS method-entry event from a trace
+// replayer, exactly as the engine's frame push would (promotion check,
+// hotspot span tracking, entry hooks with their overhead charges).
+func (a *AOS) ReplayMethodEnter(id program.MethodID) { a.methodEnter(id) }
+
+// ReplayMethodExit drives the AOS method-exit event from a trace
+// replayer with the invocation's inclusive instruction count.
+func (a *AOS) ReplayMethodExit(id program.MethodID, inclusive uint64) {
+	a.methodExit(id, inclusive)
+}
+
+// ReplayBatchPoll settles the sampling profiler for a replayed retire
+// batch of n instructions ending at instruction count now, crediting
+// each due sample delivery to every method on the replayer's frame
+// stack (outermost first) — the exact settlement the engine performs
+// after IssueBatch, fault-injector consultations included.
+func (a *AOS) ReplayBatchPoll(now, n uint64, stack []program.MethodID) {
+	if a.params.SampleInterval == 0 || now < a.nextSample {
+		return
+	}
+	for t := a.sampleDueN(now, n); t > 0; t-- {
+		for _, id := range stack {
+			a.creditSample(id)
+		}
+	}
+}
