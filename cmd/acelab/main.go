@@ -1,0 +1,175 @@
+// Command acelab is the client for the acelabd experiment daemon: it
+// submits experiment jobs, polls them, and fetches results, telemetry
+// streams, and daemon metrics over the HTTP API in docs/API.md.
+//
+//	acelab submit '{"benchmarks":["gzip"]}'   # submit, print status
+//	acelab run '{"benchmarks":["gzip"]}'      # submit, wait, print result
+//	acelab status j1
+//	acelab result j1
+//	acelab events j1                          # follows while running
+//	acelab cancel j1
+//	acelab jobs
+//	acelab metrics
+//
+// A spec argument of "-" (or none) reads the JSON spec from stdin; an
+// empty object {} is the full default evaluation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: acelab [-server URL] <command> [arg]
+
+commands:
+  submit [spec|-]   submit a job spec (JSON; "-"/no arg = stdin), print its status
+  run    [spec|-]   submit, wait for completion, print the result document
+  status <id>       print one job's status
+  result <id>       print a finished job's result document
+  events <id>       stream a job's telemetry JSONL (use -no-follow to dump and exit)
+  cancel <id>       cancel a queued or running job
+  jobs              list all retained jobs
+  metrics           print daemon metrics
+`)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		serverURL = flag.String("server", "http://localhost:8080", "acelabd base URL")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "status poll interval for run")
+		noFollow  = flag.Bool("no-follow", false, "events: dump buffered events and exit")
+	)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	c := client{base: strings.TrimRight(*serverURL, "/")}
+	cmd, arg := flag.Arg(0), flag.Arg(1)
+
+	var err error
+	switch cmd {
+	case "submit":
+		err = c.submit(arg, false, *poll)
+	case "run":
+		err = c.submit(arg, true, *poll)
+	case "status":
+		err = c.get("/v1/jobs/"+arg, os.Stdout)
+	case "result":
+		err = c.get("/v1/jobs/"+arg+"/result", os.Stdout)
+	case "events":
+		path := "/v1/jobs/" + arg + "/events"
+		if *noFollow {
+			path += "?follow=0"
+		}
+		err = c.get(path, os.Stdout)
+	case "cancel":
+		err = c.do(http.MethodDelete, "/v1/jobs/"+arg, nil, os.Stdout)
+	case "jobs":
+		err = c.get("/v1/jobs", os.Stdout)
+	case "metrics":
+		err = c.get("/metrics", os.Stdout)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acelab: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// client wraps the daemon's base URL.
+type client struct{ base string }
+
+// get fetches path and copies the body to out, treating non-2xx as an
+// error carrying the body.
+func (c client) get(path string, out io.Writer) error {
+	return c.do(http.MethodGet, path, nil, out)
+}
+
+// do performs one request. Non-2xx responses become errors with the
+// response body (the daemon's JSON error document) attached.
+func (c client) do(method, path string, body io.Reader, out io.Writer) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(b)))
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
+}
+
+// jobStatus is the slice of the daemon's status document the client
+// needs for waiting.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+// submit POSTs the spec (an argument, or stdin for "-"/empty). With
+// wait set it polls the job to a terminal state and prints the result
+// document; otherwise it prints the submission status.
+func (c client) submit(arg string, wait bool, poll time.Duration) error {
+	spec := arg
+	if spec == "" || spec == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		spec = string(b)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	if !wait {
+		_, err := os.Stdout.Write(body)
+		return err
+	}
+	var st jobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("submit: decode status: %w", err)
+	}
+	for st.State == "queued" || st.State == "running" {
+		time.Sleep(poll)
+		var buf strings.Builder
+		if err := c.get("/v1/jobs/"+st.ID, &buf); err != nil {
+			return err
+		}
+		if err := json.Unmarshal([]byte(buf.String()), &st); err != nil {
+			return fmt.Errorf("poll: decode status: %w", err)
+		}
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return c.get("/v1/jobs/"+st.ID+"/result", os.Stdout)
+}

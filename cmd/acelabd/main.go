@@ -1,0 +1,78 @@
+// Command acelabd is the experiment job daemon: it serves the
+// apparatus in internal/experiment over HTTP, accepting experiment
+// jobs (benchmark × scheme × fault-plan × options as JSON), running
+// them on a bounded worker pool, streaming their telemetry, and
+// answering repeated submissions from a content-addressed result
+// cache. See docs/API.md for the HTTP surface and cmd/acelab for the
+// matching client.
+//
+//	acelabd -addr :8080
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"benchmarks":["gzip"]}'
+//
+// SIGINT/SIGTERM drains gracefully: new submissions are refused with
+// 503 while queued and running jobs finish.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"acedo/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "job queue depth (0 = default 16)")
+		cacheMB = flag.Int64("cache-mb", 0, "result cache budget in MiB (0 = default 256)")
+		maxJobs = flag.Int("max-jobs", 0, "retained job records (0 = default 1024)")
+		drain   = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
+		quiet   = flag.Bool("q", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	var logw io.Writer = os.Stderr
+	if *quiet {
+		logw = nil
+	}
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
+		MaxJobs:    *maxJobs,
+		Log:        logw,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "acelabd: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "acelabd: %v, draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "acelabd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Refuse new jobs and wait for in-flight ones, then stop listening.
+	deadline := make(chan struct{})
+	time.AfterFunc(*drain, func() { close(deadline) })
+	if err := srv.Shutdown(deadline); err != nil {
+		fmt.Fprintf(os.Stderr, "acelabd: %v\n", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	httpSrv.Close()
+	fmt.Fprintln(os.Stderr, "acelabd: drained")
+}

@@ -1,0 +1,179 @@
+// Command doclint enforces the repo's documentation hygiene in CI:
+//
+//   - doclint ./internal/experiment ./internal/server ...
+//     parses each package (test files excluded) and reports every
+//     exported identifier — package, const, var, type, function,
+//     method — that has no doc comment. Grouped const/var/type
+//     declarations may be documented on the group.
+//
+//   - doclint -md README.md docs/API.md ...
+//     checks every relative markdown link ([text](path), path not a
+//     URL or pure fragment) resolves to an existing file, so doc
+//     refactors cannot leave dead links behind.
+//
+// Exit status is non-zero when anything is flagged, making it a cheap
+// CI gate (`make doclint`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	md := flag.Bool("md", false, "treat arguments as markdown files and check relative links")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doclint [-md] <package-dir|file>...")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, arg := range flag.Args() {
+		var err error
+		if *md {
+			problems, err = checkMarkdown(arg, problems)
+		} else {
+			problems, err = checkPackage(arg, problems)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", arg, err)
+			os.Exit(2)
+		}
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkPackage parses one package directory and appends a problem line
+// for every undocumented exported identifier.
+func checkPackage(dir string, problems []string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return problems, err
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for name, f := range pkg.Files {
+			problems = checkFile(fset, name, f, problems)
+		}
+	}
+	return problems, nil
+}
+
+// checkFile flags undocumented exported declarations in one file.
+func checkFile(fset *token.FileSet, name string, f *ast.File, problems []string) []string {
+	flag := func(pos token.Pos, kind, ident string) []string {
+		p := fset.Position(pos)
+		return append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, ident))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				ident := d.Name.Name
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					recv := recvType(d.Recv.List[0].Type)
+					if !ast.IsExported(recv) {
+						// A method on an unexported type is not part
+						// of the package's exported API.
+						continue
+					}
+					ident = recv + "." + ident
+				}
+				problems = flag(d.Pos(), "function", ident)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && !(groupDoc && len(d.Specs) >= 1) {
+						problems = flag(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || groupDoc {
+						continue
+					}
+					kind := "const"
+					if d.Tok == token.VAR {
+						kind = "var"
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							problems = flag(n.Pos(), kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	_ = name
+	return problems
+}
+
+// recvType renders a method receiver's type name.
+func recvType(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvType(t.X)
+	case *ast.IndexExpr:
+		return recvType(t.X)
+	}
+	return "?"
+}
+
+// mdLink matches inline markdown links; group 1 is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdown appends a problem line for every relative link in file
+// whose target does not exist on disk.
+func checkMarkdown(file string, problems []string) ([]string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return problems, err
+	}
+	base := filepath.Dir(file)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if j := strings.IndexByte(target, '#'); j >= 0 {
+				target = target[:j]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: dead link %s", file, i+1, m[1]))
+			}
+		}
+	}
+	return problems, nil
+}

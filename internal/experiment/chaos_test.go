@@ -86,6 +86,54 @@ func TestChaosDeadlineUnexceededIsIdentical(t *testing.T) {
 	}
 }
 
+// TestChaosCancelUnfiredIsIdentical: arming a cancellation channel
+// that never fires chunks the engine's instruction budget, which must
+// not perturb the simulation.
+func TestChaosCancelUnfiredIsIdentical(t *testing.T) {
+	spec := chaosSpec(t)
+	opt := DefaultOptions()
+	clean, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Cancel = make(chan struct{})
+	chunked, err := Run(spec, SchemeHotspot, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSim(clean, chunked) {
+		t.Errorf("cancel chunking changed the run:\nclean = %+v\nchunked = %+v", clean, chunked)
+	}
+}
+
+// TestChaosCanceled: a fired cancellation must surface as a *RunError
+// wrapping ErrCanceled carrying the run identity, not a hang or a
+// partial result.
+func TestChaosCanceled(t *testing.T) {
+	spec, ok := workload.ByName("jess")
+	if !ok {
+		t.Fatal("no jess benchmark")
+	}
+	opt := DefaultOptions()
+	cancel := make(chan struct{})
+	close(cancel) // already canceled: the first chunk boundary aborts
+	opt.Cancel = cancel
+	res, err := Run(spec, SchemeHotspot, opt)
+	if res != nil {
+		t.Errorf("canceled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Benchmark != "jess" || re.Scheme != SchemeHotspot {
+		t.Errorf("err = %#v, want a *RunError carrying the run identity", err)
+	}
+	if IsTransient(err) {
+		t.Error("cancellation errors are not transient")
+	}
+}
+
 // TestChaosDeadlineExceeded: an impossible deadline must surface as a
 // *RunError wrapping ErrDeadline, not a hang or a panic.
 func TestChaosDeadlineExceeded(t *testing.T) {

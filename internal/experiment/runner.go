@@ -114,6 +114,16 @@ type Options struct {
 	// same cap to fan per-scheme trace replays out in parallel.
 	Parallelism int
 
+	// Cancel, when non-nil, aborts the run when the channel is closed
+	// (or receives): the engine executes in instruction-budget chunks —
+	// the same chunked drive the Deadline machinery uses — and checks
+	// the channel between chunks, failing the run with a *RunError
+	// wrapping ErrCanceled. Chunking only slices the budget, so an
+	// uncanceled run's results are unchanged. The experiment service
+	// (internal/server) threads each job's cancellation signal through
+	// this field.
+	Cancel <-chan struct{}
+
 	// NoReplay disables the record-once / replay-many fast path:
 	// Compare, CompareDetectors, and RunSuite execute every scheme
 	// directly instead of recording the benchmark's architectural
@@ -226,6 +236,10 @@ const (
 // ErrDeadline is the cause carried by a *RunError when a run exceeds
 // Options.Deadline.
 var ErrDeadline = errors.New("experiment: run deadline exceeded")
+
+// ErrCanceled is the cause carried by a *RunError when a run is
+// aborted through Options.Cancel.
+var ErrCanceled = errors.New("experiment: run canceled")
 
 // RunError is the isolation layer's failure report: the run's
 // identity, the underlying error, and — when the run panicked — the
@@ -490,21 +504,31 @@ func (st *runState) finish() *Result {
 // chunking overhead is noise.
 const deadlineChunk = 1_000_000
 
-// runEngine drives the engine to completion. Without a deadline it is
-// a single Run call — the exact pre-existing path. With one, the
-// engine runs in instruction-budget chunks and the wall clock is
-// checked between chunks; chunking only slices the budget, it does
-// not perturb the simulation, so results are identical either way.
+// runEngine drives the engine to completion. Without a deadline or a
+// cancellation channel it is a single Run call — the exact
+// pre-existing path. With either, the engine runs in
+// instruction-budget chunks and the wall clock (and cancellation
+// signal) is checked between chunks; chunking only slices the budget,
+// it does not perturb the simulation, so results are identical either
+// way.
 func runEngine(eng *vm.Engine, bench string, scheme Scheme, opt Options) error {
-	if opt.Deadline <= 0 {
+	if opt.Deadline <= 0 && opt.Cancel == nil {
 		if err := eng.Run(opt.MaxInstr); err != nil && err != vm.ErrBudget {
 			return fmt.Errorf("experiment %s/%s: %w", bench, scheme, err)
 		}
 		return nil
 	}
-	limit := time.Now().Add(opt.Deadline)
+	var limit time.Time
+	if opt.Deadline > 0 {
+		limit = time.Now().Add(opt.Deadline)
+	}
 	var executed uint64
 	for !eng.Halted() {
+		select {
+		case <-opt.Cancel: // never taken when Cancel is nil
+			return &RunError{Benchmark: bench, Scheme: scheme, Err: ErrCanceled}
+		default:
+		}
 		chunk := uint64(deadlineChunk)
 		if opt.MaxInstr > 0 {
 			if executed >= opt.MaxInstr {
@@ -522,7 +546,7 @@ func runEngine(eng *vm.Engine, bench string, scheme Scheme, opt Options) error {
 		if err == nil {
 			return nil // halted
 		}
-		if time.Now().After(limit) {
+		if opt.Deadline > 0 && time.Now().After(limit) {
 			return &RunError{Benchmark: bench, Scheme: scheme, Err: ErrDeadline}
 		}
 	}

@@ -123,6 +123,20 @@ func (r *SuiteResults) SnapshotWithMeta() BenchSnapshot {
 	return s
 }
 
+// RunSnapshotOf reduces one run result to its schema-stable snapshot
+// form. With withMeta set, the optional run-metadata fields
+// (disposition, wall-clock milliseconds) are filled too — the per-run
+// analogue of SnapshotWithMeta, used by the experiment service to
+// render jobs with explicit scheme lists.
+func RunSnapshotOf(r *Result, withMeta bool) RunSnapshot {
+	rs := runSnapshot(r)
+	if withMeta {
+		rs.Disposition = r.Disposition
+		rs.WallMS = float64(r.Wall.Microseconds()) / 1e3
+	}
+	return rs
+}
+
 func runSnapshot(r *Result) RunSnapshot {
 	return RunSnapshot{
 		Instr:         r.Instr,

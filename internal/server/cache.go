@@ -1,0 +1,66 @@
+package server
+
+import "sync"
+
+// resultCache is the content-addressed result store: finished job
+// results keyed by SpecHash. Entries are immutable once stored, so a
+// hit returns the exact bytes the first execution produced —
+// byte-identical responses for byte-identical work. Retention is
+// first-come within a byte budget (no eviction), mirroring the
+// process-wide rtrace cache: what was cached stays cached, keeping
+// repeated submissions deterministic for the daemon's lifetime.
+type resultCache struct {
+	mu      sync.Mutex
+	budget  int64
+	size    int64
+	entries map[string]*cacheEntry
+
+	hits, misses uint64
+}
+
+// cacheEntry is one cached result: the serialized result document and
+// the per-run metadata of the execution that produced it.
+type cacheEntry struct {
+	result []byte
+	runs   []RunMeta
+}
+
+// newResultCache returns an empty cache bounded to budget bytes.
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the entry for hash, counting the hit or miss.
+func (c *resultCache) get(hash string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[hash]
+	if e != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e
+}
+
+// put stores a finished result unless the hash is already present or
+// the budget is exhausted.
+func (c *resultCache) put(hash string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[hash]; ok {
+		return
+	}
+	if c.size+int64(len(e.result)) > c.budget {
+		return
+	}
+	c.entries[hash] = e
+	c.size += int64(len(e.result))
+}
+
+// stats returns the cache's counters for /metrics.
+func (c *resultCache) stats() (hits, misses uint64, entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries), c.size
+}

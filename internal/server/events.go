@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"acedo/internal/telemetry"
+)
+
+// eventLog is one job's telemetry stream: a telemetry.Sink that
+// renders every event through the zero-allocation JSONL encoder into
+// an append-only in-memory byte log that HTTP streamers follow live.
+// Appends and reads are serialised by one mutex; followers block on
+// the condition variable until more bytes arrive or the log closes.
+type eventLog struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	enc  telemetry.Encoder
+
+	buf    []byte
+	budget int
+	// dropped counts events discarded after the log hit its budget —
+	// retention stops but the job keeps running.
+	dropped uint64
+	closed  bool
+}
+
+// newEventLog returns an empty log bounded to budget bytes.
+func newEventLog(budget int) *eventLog {
+	l := &eventLog{budget: budget}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Emit renders one event as a JSONL line and appends it
+// (telemetry.Sink). Events past the byte budget are counted and
+// dropped; unencodable events (impossible for simulator-produced
+// events, which carry only finite values) are dropped silently.
+func (l *eventLog) Emit(e telemetry.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || len(l.buf) >= l.budget {
+		if !l.closed {
+			l.dropped++
+		}
+		return
+	}
+	b, err := l.enc.Encode(e)
+	if err != nil {
+		return
+	}
+	l.buf = append(l.buf, b...)
+	l.buf = append(l.buf, '\n')
+	l.cond.Broadcast()
+}
+
+// close seals the log: followers drain what is buffered and stop.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// next returns the bytes appended since offset (nil when none yet) and
+// whether the log is closed. It blocks until there is something new,
+// the log closes, or ctx is done; the returned slice aliases the log's
+// buffer, which is append-only, so callers may write it without
+// copying while holding only their offset.
+func (l *eventLog) next(ctx context.Context, offset int) ([]byte, bool) {
+	// Wake any cond waiter when the client goes away, so a follower of
+	// an idle running job does not leak.
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.buf) <= offset && !l.closed && ctx.Err() == nil {
+		l.cond.Wait()
+	}
+	return l.buf[offset:len(l.buf):len(l.buf)], l.closed
+}

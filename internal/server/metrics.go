@@ -1,0 +1,184 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// wallBucketsMS are the per-benchmark wall-time histogram bounds in
+// milliseconds (a run lands in the first bucket whose bound it does
+// not exceed; the implicit last bucket is unbounded). Log-spaced from
+// 1 ms to 60 s — replayed runs cluster at the low end, paper-scale
+// direct runs at the high end.
+var wallBucketsMS = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000}
+
+// Histogram is one wall-time distribution in /metrics: Counts[i] is
+// the number of observations not exceeding BoundsMS[i], with one extra
+// overflow bucket at the end, plus the observation count and sum.
+type Histogram struct {
+	BoundsMS []float64 `json:"bounds_ms"`
+	Counts   []uint64  `json:"counts"`
+	Count    uint64    `json:"count"`
+	SumMS    float64   `json:"sum_ms"`
+}
+
+// observe records one duration.
+func (h *Histogram) observe(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1e3
+	i := 0
+	for i < len(h.BoundsMS) && ms > h.BoundsMS[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.Count++
+	h.SumMS += ms
+}
+
+// Metrics is the /metrics document: queue and worker state, job and
+// cache counters, total simulated instructions, and per-benchmark
+// wall-time histograms. It is a point-in-time snapshot — the server
+// assembles one per request.
+type Metrics struct {
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+	Workers       int  `json:"workers"`
+	BusyWorkers   int  `json:"busy_workers"`
+	Draining      bool `json:"draining"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsCanceled  uint64 `json:"jobs_canceled"`
+	JobsCached    uint64 `json:"jobs_cached"`
+
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheBytes   int64  `json:"cache_bytes"`
+
+	// InstrSimulated totals the retired instructions of every executed
+	// run (cache hits add nothing — the cache-determinism tests key on
+	// this staying put across repeated submissions).
+	InstrSimulated uint64 `json:"instr_simulated"`
+
+	// BenchWallMS histograms executed runs' wall times per benchmark.
+	BenchWallMS map[string]*Histogram `json:"bench_wall_ms"`
+}
+
+// metrics is the server's mutable counter state behind Metrics.
+type metrics struct {
+	mu sync.Mutex
+
+	busy      int
+	submitted uint64
+	completed uint64
+	failed    uint64
+	canceled  uint64
+	cached    uint64
+	instr     uint64
+
+	benchWall map[string]*Histogram
+
+	// jobEWMA is the exponentially weighted moving average of executed
+	// job wall time, feeding the Retry-After estimate.
+	jobEWMA time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{benchWall: make(map[string]*Histogram)}
+}
+
+// workerBusy adjusts the busy-worker gauge by delta.
+func (m *metrics) workerBusy(delta int) {
+	m.mu.Lock()
+	m.busy += delta
+	m.mu.Unlock()
+}
+
+// jobSubmitted counts one accepted submission (cached hits included).
+func (m *metrics) jobSubmitted(cached bool) {
+	m.mu.Lock()
+	m.submitted++
+	if cached {
+		m.cached++
+	}
+	m.mu.Unlock()
+}
+
+// jobFinished records one executed job's outcome, its wall time, and
+// its runs' instruction counts and per-bench wall times.
+func (m *metrics) jobFinished(state string, wall time.Duration, runs []RunMeta) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch state {
+	case StateDone:
+		m.completed++
+	case StateFailed:
+		m.failed++
+	case StateCanceled:
+		m.canceled++
+	}
+	const alpha = 4 // EWMA decay 1/4: a few jobs settle the estimate
+	if m.jobEWMA == 0 {
+		m.jobEWMA = wall
+	} else {
+		m.jobEWMA += (wall - m.jobEWMA) / alpha
+	}
+	for _, r := range runs {
+		m.instr += r.Instr
+		h := m.benchWall[r.Benchmark]
+		if h == nil {
+			h = &Histogram{
+				BoundsMS: wallBucketsMS,
+				Counts:   make([]uint64, len(wallBucketsMS)+1),
+			}
+			m.benchWall[r.Benchmark] = h
+		}
+		h.observe(time.Duration(r.WallMS * float64(time.Millisecond)))
+	}
+}
+
+// retryAfter estimates how long a rejected client should wait before
+// resubmitting: the queue's expected drain time given the average job
+// duration and worker count, clamped to [1s, 10min].
+func (m *metrics) retryAfter(queued, workers int) time.Duration {
+	m.mu.Lock()
+	ewma := m.jobEWMA
+	m.mu.Unlock()
+	if ewma <= 0 {
+		ewma = time.Second
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	d := ewma * time.Duration(queued+1) / time.Duration(workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 10*time.Minute {
+		d = 10 * time.Minute
+	}
+	return d
+}
+
+// snapshot assembles the /metrics document.
+func (m *metrics) snapshot() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		BusyWorkers:    m.busy,
+		JobsSubmitted:  m.submitted,
+		JobsCompleted:  m.completed,
+		JobsFailed:     m.failed,
+		JobsCanceled:   m.canceled,
+		JobsCached:     m.cached,
+		InstrSimulated: m.instr,
+		BenchWallMS:    make(map[string]*Histogram, len(m.benchWall)),
+	}
+	for name, h := range m.benchWall {
+		cp := *h
+		cp.Counts = append([]uint64(nil), h.Counts...)
+		out.BenchWallMS[name] = &cp
+	}
+	return out
+}

@@ -60,6 +60,26 @@ func TestEncoderMatchesEncodingJSON(t *testing.T) {
 	}
 }
 
+// TestExportedEncoderMatchesEncodingJSON pins the exported Encoder
+// wrapper to the same byte-for-byte json.Marshal equivalence as the
+// internal encoder it wraps.
+func TestExportedEncoderMatchesEncodingJSON(t *testing.T) {
+	var enc Encoder
+	for _, e := range encodeCorpus() {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", e, err)
+		}
+		got, err := enc.Encode(e)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", e, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("encoding mismatch for %s event:\n got %s\nwant %s", e.Type, got, want)
+		}
+	}
+}
+
 // TestEncoderRejectsNonFinite: json.Marshal fails on NaN/Inf; the
 // hand-rolled encoder must too (the JSONL sink turns it into its
 // sticky error).

@@ -249,6 +249,25 @@ func (s *JSONL) Flush() error {
 // caller).
 func (s *JSONL) Close() error { return s.Flush() }
 
+// Encoder is the zero-allocation JSONL event encoder behind the JSONL
+// sink, exported for consumers that need the rendered line itself
+// rather than a buffered writer — e.g. the experiment service's
+// per-job event logs, which append each line to an in-memory stream
+// that HTTP clients follow live. The zero value is ready to use; an
+// Encoder is not safe for concurrent use (callers serialise, exactly
+// as JSONL does internally).
+type Encoder struct {
+	enc jsonlEncoder
+}
+
+// Encode renders one event as a single JSON object — byte-identical to
+// encoding/json's rendering, without a trailing newline — into a
+// buffer reused across calls. The returned slice is only valid until
+// the next Encode call; callers that retain lines must copy.
+func (c *Encoder) Encode(e Event) ([]byte, error) {
+	return c.enc.encode(e)
+}
+
 // Buffer is an in-memory Sink for tests and programmatic consumers.
 // The zero value is ready to use; Emit is safe for concurrent use.
 type Buffer struct {

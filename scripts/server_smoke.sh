@@ -1,0 +1,48 @@
+#!/bin/sh
+# Server smoke test (CI): boot acelabd, drive it with the acelab
+# client, and check the service answers exactly what the batch tool
+# computes —
+#   1. `acelab run '{}'` (the full default evaluation) must be
+#      byte-identical to `acetables -json`;
+#   2. resubmitting the same spec must be a content-addressed cache
+#      hit (job born done, cached:true);
+#   3. SIGTERM must drain and exit cleanly.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8321}
+TMP=${TMPDIR:-/tmp}
+
+$GO build -o "$TMP/acelabd" ./cmd/acelabd
+$GO build -o "$TMP/acelab" ./cmd/acelab
+
+"$TMP/acelabd" -addr "$ADDR" -q &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+# Wait for the daemon to come up.
+i=0
+until "$TMP/acelab" -server "http://$ADDR" metrics >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "server-smoke: daemon never came up" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "server-smoke: daemon up on $ADDR; running the default evaluation via the service"
+"$TMP/acelab" -server "http://$ADDR" run '{}' > "$TMP/acedo_service.json"
+
+echo "server-smoke: running the same evaluation via acetables -json"
+$GO run ./cmd/acetables -json "$TMP/acedo_direct.json" -q
+
+cmp "$TMP/acedo_service.json" "$TMP/acedo_direct.json"
+echo "server-smoke: service result byte-identical to acetables -json"
+
+"$TMP/acelab" -server "http://$ADDR" submit '{}' > "$TMP/acedo_resubmit.json"
+grep -q '"cached": true' "$TMP/acedo_resubmit.json"
+grep -q '"state": "done"' "$TMP/acedo_resubmit.json"
+echo "server-smoke: resubmission answered from the result cache"
+
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT
+echo "server-smoke: SIGTERM drained cleanly"
