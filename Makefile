@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-snapshot bench-record bench-compare replay-check tables vet fmt fmt-check cover fuzz chaos doclint server-smoke ci clean
+.PHONY: all build test test-short bench bench-snapshot bench-record bench-compare replay-check tables vet fmt fmt-check cover fuzz chaos doclint server-smoke optimize-smoke ci clean
 
 all: build test
 
@@ -107,9 +107,17 @@ doclint: vet
 	$(GO) run ./cmd/doclint -md README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/API.md
 
 # Boot acelabd, drive it with acelab, and diff the service's result
-# against `acetables -json` byte-for-byte (CI server-smoke job).
+# against `acetables -json` byte-for-byte; then check the client's 429
+# backpressure retry loop against a saturated daemon (CI server-smoke
+# job).
 server-smoke:
 	sh scripts/server_smoke.sh
+
+# Drive a tiny seeded GA configuration search through two independent
+# daemons and require byte-identical results plus a cache hit on
+# resubmission (CI server-smoke job).
+optimize-smoke:
+	sh scripts/optimize_smoke.sh
 
 # Everything the CI workflow runs, locally.
 ci: build vet fmt-check doclint
@@ -120,6 +128,7 @@ ci: build vet fmt-check doclint
 	$(GO) test -fuzz=FuzzDetector -fuzztime=10s -run=^$$ ./internal/bbv
 	$(MAKE) chaos
 	$(MAKE) server-smoke
+	$(MAKE) optimize-smoke
 
 clean:
 	$(GO) clean ./...

@@ -4,6 +4,7 @@
 //
 //	acelab submit '{"benchmarks":["gzip"]}'   # submit, print status
 //	acelab run '{"benchmarks":["gzip"]}'      # submit, wait, print result
+//	acelab optimize '{"benchmarks":["gzip"]}' # configuration search, wait, print result
 //	acelab status j1
 //	acelab result j1
 //	acelab events j1                          # follows while running
@@ -13,6 +14,10 @@
 //
 // A spec argument of "-" (or none) reads the JSON spec from stdin; an
 // empty object {} is the full default evaluation.
+//
+// When the daemon's queue is full it answers 429 with a Retry-After
+// estimate; submit, run, and optimize honor it with a bounded retry
+// loop (-retries) instead of failing on the first rejection.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -30,14 +36,16 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: acelab [-server URL] <command> [arg]
 
 commands:
-  submit [spec|-]   submit a job spec (JSON; "-"/no arg = stdin), print its status
-  run    [spec|-]   submit, wait for completion, print the result document
-  status <id>       print one job's status
-  result <id>       print a finished job's result document
-  events <id>       stream a job's telemetry JSONL (use -no-follow to dump and exit)
-  cancel <id>       cancel a queued or running job
-  jobs              list all retained jobs
-  metrics           print daemon metrics
+  submit   [spec|-]  submit a job spec (JSON; "-"/no arg = stdin), print its status
+  run      [spec|-]  submit, wait for completion, print the result document
+  optimize [spec|-]  submit the spec as a configuration search (injects "optimize": {}
+                     when absent), wait, print the search result document
+  status   <id>      print one job's status
+  result   <id>      print a finished job's result document
+  events   <id>      stream a job's telemetry JSONL (use -no-follow to dump and exit)
+  cancel   <id>      cancel a queued or running job
+  jobs               list all retained jobs
+  metrics            print daemon metrics
 `)
 	os.Exit(2)
 }
@@ -47,13 +55,14 @@ func main() {
 		serverURL = flag.String("server", "http://localhost:8080", "acelabd base URL")
 		poll      = flag.Duration("poll", 500*time.Millisecond, "status poll interval for run")
 		noFollow  = flag.Bool("no-follow", false, "events: dump buffered events and exit")
+		retries   = flag.Int("retries", 8, "max submit attempts while the daemon reports backpressure (429)")
 	)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
-	c := client{base: strings.TrimRight(*serverURL, "/")}
+	c := client{base: strings.TrimRight(*serverURL, "/"), retries: *retries}
 	cmd, arg := flag.Arg(0), flag.Arg(1)
 
 	var err error
@@ -62,6 +71,8 @@ func main() {
 		err = c.submit(arg, false, *poll)
 	case "run":
 		err = c.submit(arg, true, *poll)
+	case "optimize":
+		err = c.optimize(arg, *poll)
 	case "status":
 		err = c.get("/v1/jobs/"+arg, os.Stdout)
 	case "result":
@@ -87,8 +98,11 @@ func main() {
 	}
 }
 
-// client wraps the daemon's base URL.
-type client struct{ base string }
+// client wraps the daemon's base URL and the submit retry budget.
+type client struct {
+	base    string
+	retries int
+}
 
 // get fetches path and copies the body to out, treating non-2xx as an
 // error carrying the body.
@@ -124,31 +138,135 @@ type jobStatus struct {
 	Error string `json:"error"`
 }
 
+// readSpec resolves the spec argument: "-" or empty reads stdin.
+func readSpec(arg string) (string, error) {
+	if arg != "" && arg != "-" {
+		return arg, nil
+	}
+	b, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// sleep is time.Sleep, swappable so the retry-loop tests run fast.
+var sleep = time.Sleep
+
+// postJob POSTs the spec with a bounded retry loop on backpressure.
+// A 429 (queue full) is not a failure: the daemon's Retry-After header
+// estimates the queue's drain time, so the client waits that long
+// (capped, with an exponential fallback when the header is absent) and
+// resubmits, up to c.retries attempts. Any other non-success status —
+// and the final 429 once attempts are exhausted — surfaces as an error
+// carrying the daemon's response body.
+func (c client) postJob(spec string) ([]byte, error) {
+	if c.retries < 1 {
+		c.retries = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= c.retries; attempt++ {
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", strings.NewReader(spec))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			return body, nil
+		}
+		lastErr = fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		if resp.StatusCode != http.StatusTooManyRequests || attempt == c.retries {
+			return nil, lastErr
+		}
+		wait := retryWait(resp.Header.Get("Retry-After"), attempt)
+		fmt.Fprintf(os.Stderr, "acelab: queue full, retrying in %s (attempt %d/%d)\n",
+			wait, attempt, c.retries)
+		sleep(wait)
+	}
+	return nil, lastErr
+}
+
+// retryWait picks the pause before the next submit attempt: the
+// daemon's Retry-After seconds when present (capped at a minute so a
+// pessimistic estimate cannot stall the client), else one second
+// doubling per attempt up to 30s.
+func retryWait(header string, attempt int) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs > 0 {
+		d := time.Duration(secs) * time.Second
+		if d > time.Minute {
+			d = time.Minute
+		}
+		return d
+	}
+	d := time.Second << uint(attempt-1)
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
 // submit POSTs the spec (an argument, or stdin for "-"/empty). With
 // wait set it polls the job to a terminal state and prints the result
 // document; otherwise it prints the submission status.
 func (c client) submit(arg string, wait bool, poll time.Duration) error {
-	spec := arg
-	if spec == "" || spec == "-" {
-		b, err := io.ReadAll(os.Stdin)
-		if err != nil {
-			return err
-		}
-		spec = string(b)
-	}
-	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", strings.NewReader(spec))
+	spec, err := readSpec(arg)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
+	return c.runSpec(spec, wait, poll)
+}
+
+// optimize submits the spec as a configuration-search job: a spec
+// without an "optimize" clause gets the empty one (all search defaults
+// — GA over the full widened space), then it runs like `acelab run`.
+func (c client) optimize(arg string, poll time.Duration) error {
+	spec, err := readSpec(arg)
 	if err != nil {
 		return err
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	spec, err = withOptimize(spec)
+	if err != nil {
+		return err
+	}
+	return c.runSpec(spec, true, poll)
+}
+
+// withOptimize ensures the spec JSON has an optimize clause, injecting
+// the empty one when absent. All other fields pass through untouched
+// so server-side validation still sees exactly what the user wrote.
+func withOptimize(spec string) (string, error) {
+	if strings.TrimSpace(spec) == "" {
+		spec = "{}"
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(spec), &m); err != nil {
+		return "", fmt.Errorf("optimize: invalid spec JSON: %w", err)
+	}
+	if m == nil {
+		m = map[string]json.RawMessage{}
+	}
+	if _, ok := m["optimize"]; !ok {
+		m["optimize"] = json.RawMessage("{}")
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// runSpec submits a resolved spec with retry, then either prints the
+// submission status or waits for the result document.
+func (c client) runSpec(spec string, wait bool, poll time.Duration) error {
+	body, err := c.postJob(spec)
+	if err != nil {
+		return err
 	}
 	if !wait {
 		_, err := os.Stdout.Write(body)

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested pauses instead of sleeping.
+func fakeSleep(t *testing.T) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	old := sleep
+	sleep = func(d time.Duration) { slept = append(slept, d) }
+	t.Cleanup(func() { sleep = old })
+	return &slept
+}
+
+// TestPostJobRetriesBackpressure pins the backpressure bugfix: a 429
+// with Retry-After is retried (honoring the header), and the eventual
+// acceptance returns the accepted status body.
+func TestPostJobRetriesBackpressure(t *testing.T) {
+	slept := fakeSleep(t)
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"job queue full"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j1","state":"queued"}`))
+	}))
+	defer srv.Close()
+
+	c := client{base: srv.URL, retries: 8}
+	body, err := c.postJob(`{}`)
+	if err != nil {
+		t.Fatalf("postJob: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("made %d requests, want 3 (two 429s then accepted)", calls)
+	}
+	var st jobStatus
+	if err := json.Unmarshal(body, &st); err != nil || st.ID != "j1" {
+		t.Errorf("accepted body %q not returned (err %v)", body, err)
+	}
+	if len(*slept) != 2 || (*slept)[0] != 2*time.Second || (*slept)[1] != 2*time.Second {
+		t.Errorf("waits %v, want two 2s pauses from Retry-After", *slept)
+	}
+}
+
+// TestPostJobExhaustsRetries checks the loop is bounded and surfaces
+// the daemon's last rejection.
+func TestPostJobExhaustsRetries(t *testing.T) {
+	fakeSleep(t)
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"job queue full (3 queued)"}`))
+	}))
+	defer srv.Close()
+
+	c := client{base: srv.URL, retries: 4}
+	_, err := c.postJob(`{}`)
+	if err == nil {
+		t.Fatal("postJob succeeded against a permanently full queue")
+	}
+	if calls != 4 {
+		t.Errorf("made %d requests, want exactly the 4-attempt budget", calls)
+	}
+	if !strings.Contains(err.Error(), "queue full") {
+		t.Errorf("error %q does not carry the daemon's rejection", err)
+	}
+}
+
+// TestPostJobNoRetryOnOtherErrors checks only 429 triggers the loop:
+// a 400 fails immediately.
+func TestPostJobNoRetryOnOtherErrors(t *testing.T) {
+	fakeSleep(t)
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"invalid job spec"}`))
+	}))
+	defer srv.Close()
+
+	c := client{base: srv.URL, retries: 8}
+	if _, err := c.postJob(`{`); err == nil {
+		t.Fatal("postJob accepted a 400")
+	}
+	if calls != 1 {
+		t.Errorf("made %d requests, want 1 (no retry on 400)", calls)
+	}
+}
+
+func TestRetryWait(t *testing.T) {
+	for _, tt := range []struct {
+		header  string
+		attempt int
+		want    time.Duration
+	}{
+		{"2", 1, 2 * time.Second},
+		{"3600", 1, time.Minute}, // header capped
+		{"", 1, time.Second},     // fallback doubles per attempt
+		{"", 3, 4 * time.Second},
+		{"", 10, 30 * time.Second}, // fallback capped
+		{"nonsense", 2, 2 * time.Second},
+	} {
+		if got := retryWait(tt.header, tt.attempt); got != tt.want {
+			t.Errorf("retryWait(%q, %d) = %v, want %v", tt.header, tt.attempt, got, tt.want)
+		}
+	}
+}
+
+func TestWithOptimize(t *testing.T) {
+	out, err := withOptimize(`{"benchmarks":["gzip"]}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatal(err)
+	}
+	if string(m["optimize"]) != "{}" {
+		t.Errorf("optimize clause not injected: %s", out)
+	}
+	if string(m["benchmarks"]) != `["gzip"]` {
+		t.Errorf("benchmarks not preserved: %s", out)
+	}
+
+	// A user-supplied clause is left alone.
+	out, err = withOptimize(`{"optimize":{"strategy":"sa"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"strategy":"sa"`) {
+		t.Errorf("user optimize clause rewritten: %s", out)
+	}
+
+	// Empty input means the default spec.
+	if out, err = withOptimize(""); err != nil || !strings.Contains(out, `"optimize":{}`) {
+		t.Errorf("empty spec: %q, %v", out, err)
+	}
+
+	if _, err := withOptimize(`nonsense`); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+}

@@ -6,8 +6,15 @@
 // cache. See docs/API.md for the HTTP surface and cmd/acelab for the
 // matching client.
 //
+// Beyond fixed scheme lists, a job spec with an "optimize" clause runs
+// a metaheuristic configuration search (internal/optimize) per
+// benchmark, evaluating every candidate as a replay of the
+// once-recorded benchmark stream and streaming search progress on the
+// job's event log.
+//
 //	acelabd -addr :8080
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"benchmarks":["gzip"]}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"benchmarks":["gzip"],"optimize":{}}'
 //
 // SIGINT/SIGTERM drains gracefully: new submissions are refused with
 // 503 while queued and running jobs finish.

@@ -184,6 +184,46 @@ func schemeResults(spec workload.Spec, opt Options, schemes []Scheme) ([]*Result
 	return results, nil
 }
 
+// RecordedBaseline returns one benchmark's baseline run together with
+// its recorded architectural trace, recording on first use and serving
+// the process-wide trace cache thereafter. The trace captures only the
+// fixed hardware's outcomes (L1I, I/D-TLB, branch predictor) plus the
+// scheme-invariant instruction stream, so it can later drive ReplayScheme
+// under *different* resizable-unit configurations and tuner parameters —
+// the property internal/optimize's search exploits to make every
+// candidate evaluation a cheap replay. A nil trace (the recorder could
+// not take the stream) is returned alongside the still-valid result.
+func RecordedBaseline(spec workload.Spec, opt Options) (*Result, *rtrace.Trace, error) {
+	key := traceKeyFor(spec, opt)
+	if tr := cachedTrace(key); tr != nil {
+		res, err := replayOrFallback(spec, SchemeBaseline, opt, tr)
+		return res, tr, err
+	}
+	res, tr, err := recordRun(spec, SchemeBaseline, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tr != nil {
+		storeTrace(key, tr)
+	}
+	return res, tr, err
+}
+
+// ReplayScheme runs one benchmark × scheme from a previously recorded
+// trace, falling back to direct execution when the trace provably
+// cannot drive the run (divergence of a truncated trace under an
+// overhead-charging scheme) or when tr is nil. The options need not
+// match the recording options: only the fixed hardware (L1I, TLBs,
+// branch predictor, timing model) and the program itself must be
+// identical, so callers may vary the resizable-unit ladders,
+// associativities, and every tuner/sampling parameter per replay.
+func ReplayScheme(spec workload.Spec, scheme Scheme, opt Options, tr *rtrace.Trace) (*Result, error) {
+	if tr == nil {
+		return Run(spec, scheme, opt)
+	}
+	return replayOrFallback(spec, scheme, opt, tr)
+}
+
 // recordRun executes one run directly while capturing its
 // architectural trace. A trace the recorder could not take (or a
 // truncated run whose recording failed to finalise) yields a nil

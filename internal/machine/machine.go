@@ -41,6 +41,14 @@ type Config struct {
 	L1DSizes []int // ascending; largest is the baseline size
 	L2Sizes  []int
 
+	// L1DWays and L2Ways set the configurable caches' associativity
+	// (0 = the paper's 2-way L1D / 4-way L2). Associativity is fixed
+	// hardware — resizing changes the set count only — but the widened
+	// search space of internal/optimize explores alternative fixed
+	// choices, so it is a construction parameter here.
+	L1DWays int
+	L2Ways  int
+
 	L1ISize int
 
 	// IQSizes, when non-nil, enables the third configurable unit —
@@ -131,24 +139,76 @@ type Machine struct {
 	OnReconfigure func(unit string, setting int, instr uint64)
 }
 
+// validLadder checks every size in a resizable cache's setting list
+// against its fixed geometry, so an invalid small setting fails at
+// construction instead of panicking at the first resize.
+func validLadder(name string, sizes []int, blockBytes, ways int) error {
+	prev := 0
+	for _, size := range sizes {
+		if size <= prev {
+			return fmt.Errorf("machine: %s sizes must be ascending", name)
+		}
+		prev = size
+		lineBytes := blockBytes * ways
+		if size%lineBytes != 0 {
+			return fmt.Errorf("machine: %s size %d not a multiple of ways×block (%d)", name, size, lineBytes)
+		}
+		if sets := size / lineBytes; sets&(sets-1) != 0 {
+			return fmt.Errorf("machine: %s size %d yields non-power-of-two set count %d", name, size, sets)
+		}
+	}
+	return nil
+}
+
+// ways returns the configured associativities with the paper defaults
+// (2-way L1D, 4-way L2) filled in for zero fields.
+func (c Config) ways() (l1d, l2 int) {
+	l1d, l2 = c.L1DWays, c.L2Ways
+	if l1d == 0 {
+		l1d = 2
+	}
+	if l2 == 0 {
+		l2 = 4
+	}
+	return l1d, l2
+}
+
+// ValidateConfig checks a configuration's resizable-cache geometry —
+// non-empty ascending size ladders whose every setting is a line
+// multiple with a power-of-two set count under the configured
+// associativity — without building the machine. New performs the same
+// checks; callers enumerating candidate configurations (e.g.
+// internal/optimize's space validation) use this to fail early.
+func ValidateConfig(cfg Config) error {
+	if len(cfg.L1DSizes) == 0 || len(cfg.L2Sizes) == 0 {
+		return fmt.Errorf("machine: missing cache size lists")
+	}
+	l1dWays, l2Ways := cfg.ways()
+	if err := validLadder("L1D", cfg.L1DSizes, 64, l1dWays); err != nil {
+		return err
+	}
+	return validLadder("L2", cfg.L2Sizes, 128, l2Ways)
+}
+
 // New constructs a machine at the baseline (largest) configuration.
 func New(cfg Config) (*Machine, error) {
-	if len(cfg.L1DSizes) == 0 || len(cfg.L2Sizes) == 0 {
-		return nil, fmt.Errorf("machine: missing cache size lists")
+	if err := ValidateConfig(cfg); err != nil {
+		return nil, err
 	}
 	m := &Machine{cfg: cfg}
 
 	maxL1D := cfg.L1DSizes[len(cfg.L1DSizes)-1]
 	maxL2 := cfg.L2Sizes[len(cfg.L2Sizes)-1]
+	l1dWays, l2Ways := cfg.ways()
 
 	var err error
 	if m.L1I, err = cache.New("L1I", cfg.L1ISize, 64, 2); err != nil {
 		return nil, err
 	}
-	if m.L1D, err = cache.New("L1D", maxL1D, 64, 2); err != nil {
+	if m.L1D, err = cache.New("L1D", maxL1D, 64, l1dWays); err != nil {
 		return nil, err
 	}
-	if m.L2, err = cache.New("L2", maxL2, 128, 4); err != nil {
+	if m.L2, err = cache.New("L2", maxL2, 128, l2Ways); err != nil {
 		return nil, err
 	}
 	m.ITLB = cache.NewTLB("ITLB", cfg.TLBEntries, cfg.PageBytes)

@@ -1,0 +1,178 @@
+package optimize
+
+import (
+	"math/rand"
+)
+
+// zeroFreshLimit aborts a search whose recent generations/epochs found
+// no unevaluated candidates at all — the degenerate end state of a
+// small space fully enumerated — independent of the early-stop knob.
+const zeroFreshLimit = 25
+
+// immigrants is the number of fresh random genomes injected per GA
+// generation, keeping the distinct-candidate budget draining even when
+// the population has converged.
+const immigrants = 2
+
+// randomGenome draws a uniform point of the space.
+func randomGenome(space *Space, rng *rand.Rand) []int {
+	dims := space.dims()
+	g := make([]int, len(dims))
+	for i, d := range dims {
+		g[i] = rng.Intn(d)
+	}
+	return g
+}
+
+// mutate flips each gene to a uniformly drawn different choice with
+// probability rate (dimensions with a single choice are left alone).
+func mutate(space *Space, rng *rand.Rand, g []int, rate float64) {
+	dims := space.dims()
+	for i, d := range dims {
+		if d < 2 || rng.Float64() >= rate {
+			continue
+		}
+		nv := rng.Intn(d - 1)
+		if nv >= g[i] {
+			nv++
+		}
+		g[i] = nv
+	}
+}
+
+// crossover builds a child by uniform gene selection from two parents.
+func crossover(rng *rand.Rand, a, b []int) []int {
+	child := make([]int, len(a))
+	for i := range a {
+		if rng.Intn(2) == 0 {
+			child[i] = a[i]
+		} else {
+			child[i] = b[i]
+		}
+	}
+	return child
+}
+
+// tournament selects the best of k uniformly drawn population members.
+func tournament(rng *rand.Rand, pop []*Eval, k int) *Eval {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// runGA drives the elitist genetic algorithm: tournament selection,
+// uniform crossover, per-gene mutation, elitist truncation, plus a
+// trickle of random immigrants. All randomness flows from the spec's
+// seed through one rand stream consumed on a single goroutine, and
+// batch evaluation merges in index order, so two same-seed runs take
+// identical decisions. Returns the best candidate and the generation
+// count.
+func runGA(ev *evaluator, spec Spec, progress Progress) (*Eval, int, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	initial := make([][]int, spec.Population)
+	for i := range initial {
+		initial[i] = randomGenome(ev.space, rng)
+	}
+	evals, err := ev.evalBatch(initial)
+	if err != nil {
+		return nil, 0, err
+	}
+	pop := compact(evals)
+	sortEvals(pop)
+	var best *Eval
+	if len(pop) > 0 {
+		best = pop[0]
+	}
+
+	gens := 0
+	stale, zeroFresh := 0, 0
+	if progress != nil && best != nil {
+		progress(gens, ev.evaluated, *best, true)
+	}
+	for !ev.done() && zeroFresh < zeroFreshLimit {
+		if spec.EarlyStop > 0 && stale >= spec.EarlyStop {
+			break
+		}
+		gens++
+		offspring := make([][]int, 0, spec.Population)
+		for len(offspring) < spec.Population-immigrants {
+			p1 := tournament(rng, pop, spec.Tournament)
+			p2 := tournament(rng, pop, spec.Tournament)
+			child := crossover(rng, p1.Genome, p2.Genome)
+			mutate(ev.space, rng, child, spec.MutationRate)
+			offspring = append(offspring, child)
+		}
+		for len(offspring) < spec.Population {
+			offspring = append(offspring, randomGenome(ev.space, rng))
+		}
+
+		before := ev.evaluated
+		childEvals, err := ev.evalBatch(offspring)
+		if err != nil {
+			return nil, gens, err
+		}
+		if ev.evaluated == before {
+			zeroFresh++
+		} else {
+			zeroFresh = 0
+		}
+
+		// Elitist truncation: the elite parents compete with every
+		// offspring for the next population.
+		next := make([]*Eval, 0, spec.Elite+len(childEvals))
+		next = append(next, pop[:min(spec.Elite, len(pop))]...)
+		next = append(next, compact(childEvals)...)
+		next = dedupe(next)
+		sortEvals(next)
+		if len(next) > spec.Population {
+			next = next[:spec.Population]
+		}
+		if len(next) > 0 {
+			pop = next
+		}
+
+		improved := best == nil || better(pop[0], best)
+		if improved {
+			best = pop[0]
+			stale = 0
+		} else {
+			stale++
+		}
+		if progress != nil && best != nil {
+			progress(gens, ev.evaluated, *best, improved)
+		}
+	}
+	return best, gens, nil
+}
+
+// compact drops nil entries (budget-truncated batch slots).
+func compact(evals []*Eval) []*Eval {
+	out := evals[:0]
+	for _, e := range evals {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// dedupe keeps each genome's first occurrence.
+func dedupe(evals []*Eval) []*Eval {
+	seen := make(map[string]bool, len(evals))
+	out := evals[:0]
+	for _, e := range evals {
+		k := key(e.Genome)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package optimize
+
+import (
+	"encoding/json"
+	"testing"
+
+	"acedo/internal/experiment"
+	"acedo/internal/workload"
+)
+
+// testOptions returns small, fast base options for search tests.
+func testOptions(t *testing.T) experiment.Options {
+	t.Helper()
+	opt := experiment.OptionsAtScale(40)
+	opt.Parallelism = 4
+	return opt
+}
+
+// testSpec returns a tiny normalised search spec.
+func testSpec(t *testing.T, strategy string, budget int) Spec {
+	t.Helper()
+	s, err := Spec{Strategy: strategy, Budget: budget, Seed: 7, Population: 8, Elite: 2}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	return s
+}
+
+func benchSpec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return w
+}
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	s, err := Spec{}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize zero spec: %v", err)
+	}
+	if s.Strategy != "ga" || s.Objective != ObjectiveEDP || s.Budget != 1000 ||
+		s.Seed != 1 || s.MaxSlowdown != 0.05 || s.Population != 32 {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+	// Normalising twice is a fixed point — the property the server's
+	// content-addressed cache key relies on.
+	again, err := s.Normalize()
+	if err != nil {
+		t.Fatalf("re-Normalize: %v", err)
+	}
+	if again != s {
+		t.Errorf("Normalize not idempotent: %+v vs %+v", again, s)
+	}
+
+	for _, bad := range []Spec{
+		{Strategy: "bogus"},
+		{Objective: "speed"},
+		{Budget: -1},
+		{MaxSlowdown: -0.1},
+		{Population: 1},
+		{Elite: 31, Population: 8},
+		{MutationRate: 1.5},
+		{Cooling: 1.0},
+		{EarlyStop: -2},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Errorf("Normalize(%+v) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestDefaultSpace(t *testing.T) {
+	space := DefaultSpace()
+	if err := space.Validate(); err != nil {
+		t.Fatalf("DefaultSpace invalid: %v", err)
+	}
+	if got := space.Size(); got < 1000 {
+		t.Errorf("space size %d; the widened space must offer ≥ 1000 points", got)
+	}
+
+	base := experiment.DefaultOptions()
+	// The paper's own configuration is the all-defaults genome.
+	paper := []int{0, 1, 0, 1, 0, 1, 2, 1}
+	opt, err := space.Apply(base, paper)
+	if err != nil {
+		t.Fatalf("Apply paper genome: %v", err)
+	}
+	if opt.Machine.L1DSizes[3] != 64*1024 || opt.Machine.L1DWays != 2 ||
+		opt.Machine.L2Ways != 4 || opt.Machine.IQSizes != nil ||
+		opt.VM.SampleInterval != base.VM.SampleInterval ||
+		opt.Core.SamplePeriod != 48 || opt.Core.PerfThreshold != 0.02 {
+		t.Errorf("paper genome did not reproduce the default configuration: %+v", opt.Machine)
+	}
+
+	// An IQ-enabled genome must switch on the third unit and its size
+	// class.
+	iq := []int{0, 1, 0, 1, 1, 1, 2, 1}
+	opt, err = space.Apply(base, iq)
+	if err != nil {
+		t.Fatalf("Apply IQ genome: %v", err)
+	}
+	if len(opt.Machine.IQSizes) != 4 {
+		t.Errorf("IQ genome left the issue queue off: %+v", opt.Machine.IQSizes)
+	}
+
+	if _, err := space.Apply(base, []int{0, 0, 0}); err == nil {
+		t.Error("Apply accepted a short genome")
+	}
+	if _, err := space.Apply(base, []int{99, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("Apply accepted an out-of-range genome")
+	}
+}
+
+// TestSearchDeterminism pins the acceptance criterion: two same-seed
+// searches return byte-identical result documents, for both
+// strategies.
+func TestSearchDeterminism(t *testing.T) {
+	w := benchSpec(t, "compress")
+	space := DefaultSpace()
+	for _, strategy := range []string{"ga", "sa"} {
+		spec := testSpec(t, strategy, 24)
+		var docs [][]byte
+		for i := 0; i < 2; i++ {
+			res, stats, err := RunBench(w, testOptions(t), space, spec, nil)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", strategy, i, err)
+			}
+			if stats.Base == nil || stats.ACE == nil {
+				t.Fatalf("%s run %d: missing reference runs", strategy, i)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			docs = append(docs, b)
+		}
+		if string(docs[0]) != string(docs[1]) {
+			t.Errorf("%s: same-seed results differ:\n%s\n%s", strategy, docs[0], docs[1])
+		}
+	}
+}
+
+// TestSearchSpendsBudget checks the distinct-candidate budget is spent
+// exactly (no early stop configured) and that the budget caps at the
+// space size.
+func TestSearchSpendsBudget(t *testing.T) {
+	w := benchSpec(t, "compress")
+	space := DefaultSpace()
+	spec := testSpec(t, "ga", 24)
+	res, stats, err := RunBench(w, testOptions(t), space, spec, nil)
+	if err != nil {
+		t.Fatalf("RunBench: %v", err)
+	}
+	if res.Evaluated != 24 {
+		t.Errorf("evaluated %d candidates, want exactly the budget 24", res.Evaluated)
+	}
+	if res.Best.Config == nil || res.Best.Description == "" {
+		t.Errorf("best candidate missing config/description: %+v", res.Best)
+	}
+	if res.SpaceSize != space.Size() {
+		t.Errorf("space size %d, want %d", res.SpaceSize, space.Size())
+	}
+	if stats.SearchInstr == 0 {
+		t.Error("stats counted no search instructions")
+	}
+	// The search must replay, not re-record: at most the two reference
+	// runs plus zero fallbacks for an untruncated trace.
+	if stats.Fallbacks != 0 {
+		t.Errorf("%d candidate evaluations fell back to direct execution", stats.Fallbacks)
+	}
+
+	// A budget above the space size caps at full enumeration: shrink
+	// the space to make that affordable.
+	tiny := space
+	tiny.L1DLadders = tiny.L1DLadders[:1]
+	tiny.L1DWays = []int{2}
+	tiny.L2Ladders = tiny.L2Ladders[:1]
+	tiny.L2Ways = []int{4}
+	tiny.IQLadders = [][]int{nil}
+	tiny.SampleFactors = []Factor{{1, 1}}
+	tiny.SamplePeriods = []uint64{48}
+	// 4 points remain (perf thresholds).
+	spec = testSpec(t, "ga", 1000)
+	res, _, err = RunBench(w, testOptions(t), tiny, spec, nil)
+	if err != nil {
+		t.Fatalf("RunBench tiny space: %v", err)
+	}
+	if res.Evaluated != tiny.Size() {
+		t.Errorf("evaluated %d, want the full tiny space %d", res.Evaluated, tiny.Size())
+	}
+}
+
+// TestProgressReports checks the progress callback fires with a
+// monotonic evaluation count and a final best matching the document.
+func TestProgressReports(t *testing.T) {
+	w := benchSpec(t, "compress")
+	spec := testSpec(t, "sa", 16)
+	var calls int
+	last := -1
+	var lastBest Eval
+	res, _, err := RunBench(w, testOptions(t), DefaultSpace(), spec,
+		func(gen, evaluated int, best Eval, improved bool) {
+			calls++
+			if evaluated < last {
+				t.Errorf("evaluation count went backwards: %d after %d", evaluated, last)
+			}
+			last = evaluated
+			lastBest = best
+		})
+	if err != nil {
+		t.Fatalf("RunBench: %v", err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if key(lastBest.Genome) != key(res.Best.Config) {
+		t.Errorf("final progress best %v != document best %v", lastBest.Genome, res.Best.Config)
+	}
+}

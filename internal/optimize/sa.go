@@ -1,0 +1,120 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+)
+
+// neighbor perturbs one uniformly chosen dimension to a different
+// choice (dimensions with a single choice are skipped by redraw).
+func neighbor(space *Space, rng *rand.Rand, g []int) []int {
+	dims := space.dims()
+	n := append([]int(nil), g...)
+	for {
+		i := rng.Intn(len(dims))
+		if dims[i] < 2 {
+			continue
+		}
+		nv := rng.Intn(dims[i] - 1)
+		if nv >= n[i] {
+			nv++
+		}
+		n[i] = nv
+		return n
+	}
+}
+
+// runSA drives simulated annealing with geometric cooling and
+// restart-on-stagnation: a Metropolis walk over single-dimension
+// neighbors, accepting uphill moves with probability exp(-Δ/T) on the
+// relative objective delta; after RestartAfter stagnant epochs the
+// walk restarts from a fresh random point at full temperature (the
+// best-so-far is never lost). Like the GA, all randomness flows from
+// one seeded stream on one goroutine, so same-seed runs are
+// decision-identical. Returns the best candidate and the epoch count.
+func runSA(ev *evaluator, spec Spec, progress Progress) (*Eval, int, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	evalOne := func(g []int) (*Eval, error) {
+		evals, err := ev.evalBatch([][]int{g})
+		if err != nil {
+			return nil, err
+		}
+		return evals[0], nil
+	}
+
+	cur, err := evalOne(randomGenome(ev.space, rng))
+	if err != nil {
+		return nil, 0, err
+	}
+	best := cur
+	temp := spec.InitialTemp
+	epochs := 0
+	stale, sinceRestart, zeroFresh := 0, 0, 0
+	if progress != nil && best != nil {
+		progress(epochs, ev.evaluated, *best, true)
+	}
+	for !ev.done() && cur != nil && zeroFresh < zeroFreshLimit {
+		if spec.EarlyStop > 0 && stale >= spec.EarlyStop {
+			break
+		}
+		epochs++
+		improvedEpoch := false
+		before := ev.evaluated
+		for step := 0; step < spec.Population && !ev.done(); step++ {
+			cand, err := evalOne(neighbor(ev.space, rng, cur.Genome))
+			if err != nil {
+				return nil, epochs, err
+			}
+			if cand == nil { // budget exhausted mid-epoch
+				break
+			}
+			cs, ns := cur.score(ev.maxSlowdown), cand.score(ev.maxSlowdown)
+			delta := 0.0
+			if cs > 0 {
+				delta = (ns - cs) / cs
+			} else if ns > cs {
+				delta = 1
+			}
+			if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
+				cur = cand
+			}
+			if better(cand, best) {
+				best = cand
+				improvedEpoch = true
+			}
+		}
+		if ev.evaluated == before {
+			zeroFresh++
+		} else {
+			zeroFresh = 0
+		}
+		temp *= spec.Cooling
+		if improvedEpoch {
+			stale, sinceRestart = 0, 0
+		} else {
+			stale++
+			sinceRestart++
+		}
+		if spec.RestartAfter > 0 && sinceRestart >= spec.RestartAfter && !ev.done() {
+			restart, err := evalOne(randomGenome(ev.space, rng))
+			if err != nil {
+				return nil, epochs, err
+			}
+			if restart != nil {
+				cur = restart
+				if better(restart, best) {
+					best = restart
+					improvedEpoch = true
+					stale = 0
+				}
+			}
+			temp = spec.InitialTemp
+			sinceRestart = 0
+		}
+		if progress != nil && best != nil {
+			progress(epochs, ev.evaluated, *best, improvedEpoch)
+		}
+	}
+	return best, epochs, nil
+}

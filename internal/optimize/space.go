@@ -1,0 +1,296 @@
+// Package optimize searches a widened adaptive-computing configuration
+// space for the most energy-efficient machine + tuner parameterisation
+// of each benchmark — the ROADMAP's "search-based scheme optimization"
+// item. Where the paper tunes 16 exhaustive L1D×L2 size combinations
+// at run time, this package treats the whole environment configuration
+// — cache ladders, associativities, the optional issue-queue unit, the
+// profiler's sampling interval, and the hotspot tuner's own parameters
+// — as a discrete search space of tens of thousands of points, and
+// explores it with seeded, fully deterministic metaheuristics (a
+// genetic algorithm and simulated annealing; see ga.go / sa.go).
+//
+// Every candidate evaluation is a cheap rtrace replay of the
+// benchmark's once-recorded architectural stream
+// (experiment.RecordedBaseline / ReplayScheme): the trace captures
+// only fixed-hardware outcomes, so one recording drives replays under
+// any candidate's resizable-unit geometry and tuner parameters.
+package optimize
+
+import (
+	"fmt"
+	"strings"
+
+	"acedo/internal/experiment"
+	"acedo/internal/machine"
+)
+
+const kb = 1024
+
+// Factor is a rational scale factor (Num/Den) applied to the base
+// profiler sampling interval, so the interval dimension adapts to
+// whatever scale the job runs at instead of hard-coding counts.
+type Factor struct {
+	Num uint64
+	Den uint64
+}
+
+// Space is the discrete configuration space: one choice list per
+// dimension. A candidate (Genome) picks one index into each list, in
+// the fixed dimension order l1d_ladder, l1d_ways, l2_ladder, l2_ways,
+// iq_ladder, sample_interval, sample_period, perf_threshold.
+type Space struct {
+	// L1DLadders are the candidate L1D size-setting lists (ascending,
+	// largest = baseline size). All sizes must satisfy the cache
+	// geometry of every L1DWays choice.
+	L1DLadders [][]int
+	// L1DWays are the candidate L1D associativities.
+	L1DWays []int
+	// L2Ladders are the candidate L2 size-setting lists.
+	L2Ladders [][]int
+	// L2Ways are the candidate L2 associativities.
+	L2Ways []int
+	// IQLadders are the candidate issue-queue setting lists; a nil
+	// entry disables the third configurable unit (the paper's two-CU
+	// machine).
+	IQLadders [][]int
+	// SampleFactors scale the base profiler sampling interval.
+	SampleFactors []Factor
+	// SamplePeriods are candidate hotspot-tuner sampling cadences
+	// (core.Params.SamplePeriod).
+	SamplePeriods []uint64
+	// PerfThresholds are candidate performance-degradation bounds,
+	// applied to both the hotspot tuner and the BBV comparator.
+	PerfThresholds []float64
+}
+
+// DimNames are the space's dimension names in genome order.
+var DimNames = []string{
+	"l1d_ladder", "l1d_ways", "l2_ladder", "l2_ways",
+	"iq_ladder", "sample_interval", "sample_period", "perf_threshold",
+}
+
+// DefaultSpace returns the standard widened space: 4 L1D ladders × 4
+// L1D associativities × 4 L2 ladders × 4 L2 associativities × 3 IQ
+// choices × 4 sampling intervals × 4 tuner sample periods × 4
+// performance thresholds = 49 152 points, of which the paper's own
+// configuration is one.
+func DefaultSpace() Space {
+	return Space{
+		L1DLadders: [][]int{
+			{8 * kb, 16 * kb, 32 * kb, 64 * kb}, // paper Table 2
+			{4 * kb, 8 * kb, 16 * kb, 32 * kb},
+			{16 * kb, 32 * kb, 64 * kb, 128 * kb},
+			{4 * kb, 16 * kb, 64 * kb}, // sparse: wider resize steps
+		},
+		L1DWays: []int{1, 2, 4, 8},
+		L2Ladders: [][]int{
+			{128 * kb, 256 * kb, 512 * kb, 1024 * kb}, // paper Table 2
+			{64 * kb, 128 * kb, 256 * kb, 512 * kb},
+			{256 * kb, 512 * kb, 1024 * kb, 2048 * kb},
+			{64 * kb, 256 * kb, 1024 * kb},
+		},
+		L2Ways: []int{2, 4, 8, 16},
+		IQLadders: [][]int{
+			nil,              // two-CU machine (paper default)
+			{16, 32, 48, 64}, // the extension ladder of WithThreeCU
+			{8, 16, 32, 64},  // deeper downsizing
+		},
+		SampleFactors:  []Factor{{1, 2}, {1, 1}, {2, 1}, {4, 1}},
+		SamplePeriods:  []uint64{16, 32, 48, 96},
+		PerfThresholds: []float64{0.01, 0.02, 0.05, 0.10},
+	}
+}
+
+// dims returns the number of choices per dimension, in genome order.
+func (s *Space) dims() []int {
+	return []int{
+		len(s.L1DLadders), len(s.L1DWays), len(s.L2Ladders), len(s.L2Ways),
+		len(s.IQLadders), len(s.SampleFactors), len(s.SamplePeriods), len(s.PerfThresholds),
+	}
+}
+
+// Size returns the number of points in the space.
+func (s *Space) Size() int {
+	n := 1
+	for _, d := range s.dims() {
+		n *= d
+	}
+	return n
+}
+
+// Validate checks the space: every dimension non-empty and small
+// enough to index compactly, factors well-formed, and every cache
+// ladder × associativity combination constructible (ascending sizes,
+// line-multiple, power-of-two set count) — so an invalid candidate
+// cannot surface mid-search.
+func (s *Space) Validate() error {
+	for i, d := range s.dims() {
+		if d == 0 {
+			return fmt.Errorf("optimize: dimension %s is empty", DimNames[i])
+		}
+		if d > 255 {
+			return fmt.Errorf("optimize: dimension %s has %d choices (max 255)", DimNames[i], d)
+		}
+	}
+	for _, f := range s.SampleFactors {
+		if f.Num == 0 || f.Den == 0 {
+			return fmt.Errorf("optimize: sample factor %d/%d has a zero term", f.Num, f.Den)
+		}
+	}
+	for _, p := range s.SamplePeriods {
+		if p == 0 {
+			return fmt.Errorf("optimize: sample period 0")
+		}
+	}
+	for _, th := range s.PerfThresholds {
+		if th < 0 || th >= 1 {
+			return fmt.Errorf("optimize: perf threshold %v out of [0,1)", th)
+		}
+	}
+	// Probe every ladder × ways combination through the machine
+	// constructor: geometry violations fail here, not at candidate
+	// evaluation time.
+	probe := experiment.DefaultOptions().Machine
+	for li, ladder := range s.L1DLadders {
+		for wi, ways := range s.L1DWays {
+			cfg := probe
+			cfg.L1DSizes, cfg.L1DWays = ladder, ways
+			if err := machine.ValidateConfig(cfg); err != nil {
+				return fmt.Errorf("optimize: l1d_ladder[%d] × l1d_ways[%d]: %w", li, wi, err)
+			}
+		}
+	}
+	for li, ladder := range s.L2Ladders {
+		for wi, ways := range s.L2Ways {
+			cfg := probe
+			cfg.L2Sizes, cfg.L2Ways = ladder, ways
+			if err := machine.ValidateConfig(cfg); err != nil {
+				return fmt.Errorf("optimize: l2_ladder[%d] × l2_ways[%d]: %w", li, wi, err)
+			}
+		}
+	}
+	for i, ladder := range s.IQLadders {
+		prev := 0
+		for _, n := range ladder {
+			if n <= prev {
+				return fmt.Errorf("optimize: iq_ladder[%d] not ascending", i)
+			}
+			prev = n
+		}
+	}
+	return nil
+}
+
+// checkGenome bounds-checks a candidate against the space.
+func (s *Space) checkGenome(g []int) error {
+	dims := s.dims()
+	if len(g) != len(dims) {
+		return fmt.Errorf("optimize: genome has %d dimensions, space has %d", len(g), len(dims))
+	}
+	for i, v := range g {
+		if v < 0 || v >= dims[i] {
+			return fmt.Errorf("optimize: %s index %d out of [0,%d)", DimNames[i], v, dims[i])
+		}
+	}
+	return nil
+}
+
+// Apply builds a candidate's full experiment options from the base
+// options: the genome's machine geometry, issue-queue choice (with the
+// matching micro hotspot size class), sampling interval, and tuner
+// parameters, validated against the machine and parameter invariants.
+// The base options' scale, deadlines, cancellation, and fault wiring
+// are preserved.
+func (s *Space) Apply(base experiment.Options, g []int) (experiment.Options, error) {
+	if err := s.checkGenome(g); err != nil {
+		return base, err
+	}
+	opt := base
+	opt.Machine.L1DSizes = s.L1DLadders[g[0]]
+	opt.Machine.L1DWays = s.L1DWays[g[1]]
+	opt.Machine.L2Sizes = s.L2Ladders[g[2]]
+	opt.Machine.L2Ways = s.L2Ways[g[3]]
+	if iq := s.IQLadders[g[4]]; iq != nil {
+		opt.Machine.IQSizes = iq
+		opt.Core.Bounds = base.Core.Bounds.WithMicro(opt.ScaleDiv)
+	} else {
+		opt.Machine.IQSizes = nil
+	}
+	f := s.SampleFactors[g[5]]
+	iv := base.VM.SampleInterval * f.Num / f.Den
+	if iv == 0 {
+		iv = 1
+	}
+	opt.VM.SampleInterval = iv
+	opt.Core.SamplePeriod = s.SamplePeriods[g[6]]
+	th := s.PerfThresholds[g[7]]
+	opt.Core.PerfThreshold = th
+	opt.BBV.PerfThreshold = th
+	if err := opt.VM.Validate(); err != nil {
+		return base, fmt.Errorf("optimize: candidate %v: %w", g, err)
+	}
+	if err := opt.Core.Validate(); err != nil {
+		return base, fmt.Errorf("optimize: candidate %v: %w", g, err)
+	}
+	if err := opt.BBV.Validate(); err != nil {
+		return base, fmt.Errorf("optimize: candidate %v: %w", g, err)
+	}
+	return opt, nil
+}
+
+// Describe renders a candidate human-readably, e.g.
+// "L1D 8/16/32/64K 2-way; L2 128/256/512/1024K 4-way; IQ off;
+// sample ×1/1; period 48; thresh 0.02".
+func (s *Space) Describe(g []int) string {
+	if s.checkGenome(g) != nil {
+		return fmt.Sprintf("invalid %v", g)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "L1D %s %d-way; L2 %s %d-way; ",
+		ladderKB(s.L1DLadders[g[0]]), s.L1DWays[g[1]],
+		ladderKB(s.L2Ladders[g[2]]), s.L2Ways[g[3]])
+	if iq := s.IQLadders[g[4]]; iq == nil {
+		b.WriteString("IQ off; ")
+	} else {
+		fmt.Fprintf(&b, "IQ %s; ", ladderRaw(iq))
+	}
+	f := s.SampleFactors[g[5]]
+	fmt.Fprintf(&b, "sample ×%d/%d; period %d; thresh %g",
+		f.Num, f.Den, s.SamplePeriods[g[6]], s.PerfThresholds[g[7]])
+	return b.String()
+}
+
+// ladderKB renders cache sizes as slash-joined KB counts.
+func ladderKB(sizes []int) string {
+	var b strings.Builder
+	for i, n := range sizes {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", n/kb)
+	}
+	b.WriteString("K")
+	return b.String()
+}
+
+// ladderRaw renders entry counts slash-joined.
+func ladderRaw(sizes []int) string {
+	var b strings.Builder
+	for i, n := range sizes {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	return b.String()
+}
+
+// key packs a genome into a map key (dimensions are < 256 choices, see
+// Validate).
+func key(g []int) string {
+	b := make([]byte, len(g))
+	for i, v := range g {
+		b[i] = byte(v)
+	}
+	return string(b)
+}

@@ -11,8 +11,10 @@ func TestModelsValidate(t *testing.T) {
 		if err := m.Validate(); err != nil {
 			t.Errorf("%s: %v", m.Name, err)
 		}
-		if len(m.Sizes()) != 4 {
-			t.Errorf("%s: %d sizes, want 4", m.Name, len(m.Sizes()))
+		// The paper's 4 Table 2 settings plus one extrapolated size
+		// on each end for the widened optimize search space.
+		if len(m.Sizes()) != 6 {
+			t.Errorf("%s: %d sizes, want 6", m.Name, len(m.Sizes()))
 		}
 	}
 }

@@ -43,19 +43,39 @@ func (c *resultCache) get(hash string) *cacheEntry {
 	return e
 }
 
+// runMetaBytes approximates one retained RunMeta's memory cost: the
+// struct itself (three string headers plus two 8-byte scalars on a
+// 64-bit platform) and the bytes its strings pin.
+const runMetaBytes = 64
+
+// entrySize is the entry's accounted footprint: the result document
+// plus its per-run metadata. The metadata matters — a full-suite job
+// with run metadata retains hundreds of RunMeta values per entry, and
+// budgeting only the result bytes lets the cache grow well past its
+// configured bound.
+func entrySize(e *cacheEntry) int64 {
+	n := int64(len(e.result))
+	for _, r := range e.runs {
+		n += runMetaBytes + int64(len(r.Benchmark)+len(r.Scheme)+len(r.Disposition))
+	}
+	return n
+}
+
 // put stores a finished result unless the hash is already present or
-// the budget is exhausted.
+// the entry's full footprint (result bytes plus run metadata) would
+// exceed the budget.
 func (c *resultCache) put(hash string, e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.entries[hash]; ok {
 		return
 	}
-	if c.size+int64(len(e.result)) > c.budget {
+	n := entrySize(e)
+	if c.size+n > c.budget {
 		return
 	}
 	c.entries[hash] = e
-	c.size += int64(len(e.result))
+	c.size += n
 }
 
 // stats returns the cache's counters for /metrics.

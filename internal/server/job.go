@@ -10,6 +10,7 @@ import (
 
 	"acedo/internal/experiment"
 	"acedo/internal/fault"
+	"acedo/internal/optimize"
 	"acedo/internal/workload"
 )
 
@@ -77,6 +78,18 @@ type JobSpec struct {
 	// Faults arms a deterministic fault-injection plan for every run
 	// (internal/fault's JSON plan format).
 	Faults *fault.Plan `json:"faults,omitempty"`
+
+	// Optimize, when non-nil, makes this an optimize job: instead of
+	// running a scheme list, the server searches the widened
+	// configuration space (internal/optimize) for each benchmark's
+	// best configuration, evaluating every candidate as a replay of
+	// the once-recorded benchmark stream. Optimize jobs take no
+	// scheme list and are incompatible with three_cu, no_replay,
+	// max_instr, and fault plans; search progress streams on the
+	// job's event log regardless of Events. The field is omitempty,
+	// so non-optimize specs normalise (and hash, and render) exactly
+	// as before.
+	Optimize *optimize.Spec `json:"optimize,omitempty"`
 }
 
 // defaultSchemes is the normalised scheme list of a spec that omits
@@ -117,7 +130,31 @@ func (s JobSpec) Normalize() (JobSpec, error) {
 			seen[name] = true
 		}
 	}
-	if len(s.Schemes) == 0 {
+	if s.Optimize != nil {
+		// An optimize job replaces the scheme list with a search; the
+		// flags below either contradict the search's replay-everything
+		// evaluation model or would silently change its meaning.
+		if len(s.Schemes) != 0 {
+			return s, fmt.Errorf("optimize jobs take no scheme list")
+		}
+		if s.ThreeCU {
+			return s, fmt.Errorf("optimize jobs cannot set three_cu (the search space explores the issue queue itself)")
+		}
+		if s.NoReplay {
+			return s, fmt.Errorf("optimize jobs require the replay fast path (no_replay unsupported)")
+		}
+		if s.MaxInstr != 0 {
+			return s, fmt.Errorf("optimize jobs cannot truncate runs (max_instr unsupported)")
+		}
+		if s.Faults != nil {
+			return s, fmt.Errorf("optimize jobs do not support fault plans")
+		}
+		norm, err := s.Optimize.Normalize()
+		if err != nil {
+			return s, err
+		}
+		s.Optimize = &norm
+	} else if len(s.Schemes) == 0 {
 		s.Schemes = append([]string(nil), defaultSchemes...)
 	} else {
 		seen := make(map[string]bool, len(s.Schemes))
@@ -194,8 +231,8 @@ func SpecHash(s JobSpec) (string, error) {
 // Bump Version (or a schema version) whenever results change meaning,
 // and previously cached entries stop matching.
 func engineVersion() string {
-	return fmt.Sprintf("acelabd/%s snapshot/%d runs/%d",
-		Version, experiment.SnapshotSchemaVersion, RunsSchemaVersion)
+	return fmt.Sprintf("acelabd/%s snapshot/%d runs/%d optimize/%d",
+		Version, experiment.SnapshotSchemaVersion, RunsSchemaVersion, OptimizeSchemaVersion)
 }
 
 // RunsSchemaVersion identifies the RunsSnapshot JSON layout; bump only
@@ -235,13 +272,17 @@ type RunMeta struct {
 
 // runJob executes one normalised job spec and returns the serialized
 // result document plus per-run metadata. It is the worker pool's run
-// function; sink (nil when the spec does not request events) receives
-// every run's telemetry, and cancel aborts between benchmarks and at
-// the engine's chunk boundaries.
-func runJob(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
+// function (tests substitute a stub); sink is the job's event log —
+// run telemetry attaches to it only when the spec requests events,
+// optimize progress always streams — and cancel aborts between
+// benchmarks and at the engine's chunk boundaries.
+func (s *Server) runJob(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
 	opt := spec.options(cancel)
-	if sink != nil {
+	if sink != nil && spec.Events {
 		opt.Sink = sink
+	}
+	if spec.Optimize != nil {
+		return s.runOptimizeJob(spec, opt, sink, cancel)
 	}
 	if spec.comparison() {
 		return runComparisonJob(spec, opt, cancel)

@@ -63,6 +63,21 @@ type Metrics struct {
 
 	// BenchWallMS histograms executed runs' wall times per benchmark.
 	BenchWallMS map[string]*Histogram `json:"bench_wall_ms"`
+
+	// OptimizeBest reports each benchmark's best-so-far from its most
+	// recent configuration search, updated live while optimize jobs run
+	// (absent until the first optimize job; schema-additive).
+	OptimizeBest map[string]*OptimizeStatus `json:"optimize_best,omitempty"`
+}
+
+// OptimizeStatus is one benchmark's search progress in /metrics: the
+// objective being minimised, the best value found so far, how many
+// distinct candidates have been evaluated, and the best genome.
+type OptimizeStatus struct {
+	Objective string  `json:"objective"`
+	Best      float64 `json:"best"`
+	Evaluated uint64  `json:"evaluated"`
+	Config    []int   `json:"config,omitempty"`
 }
 
 // metrics is the server's mutable counter state behind Metrics.
@@ -77,11 +92,16 @@ type metrics struct {
 	cached    uint64
 	instr     uint64
 
-	benchWall map[string]*Histogram
+	benchWall    map[string]*Histogram
+	optimizeBest map[string]*OptimizeStatus
 
 	// jobEWMA is the exponentially weighted moving average of executed
-	// job wall time, feeding the Retry-After estimate.
-	jobEWMA time.Duration
+	// job wall time in nanoseconds, feeding the Retry-After estimate.
+	// Kept as float64: integer division truncates the per-update delta
+	// toward zero, so a time.Duration average moves by 0 whenever the
+	// delta is under alpha nanoseconds and the estimate sticks at
+	// whatever the early jobs set it to.
+	jobEWMA float64
 }
 
 func newMetrics() *metrics {
@@ -120,9 +140,9 @@ func (m *metrics) jobFinished(state string, wall time.Duration, runs []RunMeta) 
 	}
 	const alpha = 4 // EWMA decay 1/4: a few jobs settle the estimate
 	if m.jobEWMA == 0 {
-		m.jobEWMA = wall
+		m.jobEWMA = float64(wall)
 	} else {
-		m.jobEWMA += (wall - m.jobEWMA) / alpha
+		m.jobEWMA += (float64(wall) - m.jobEWMA) / alpha
 	}
 	for _, r := range runs {
 		m.instr += r.Instr
@@ -138,12 +158,28 @@ func (m *metrics) jobFinished(state string, wall time.Duration, runs []RunMeta) 
 	}
 }
 
+// optimizeProgress records one benchmark's best-so-far search state
+// for the /metrics OptimizeBest gauge.
+func (m *metrics) optimizeProgress(bench, objective string, best float64, evaluated uint64, config []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.optimizeBest == nil {
+		m.optimizeBest = make(map[string]*OptimizeStatus)
+	}
+	m.optimizeBest[bench] = &OptimizeStatus{
+		Objective: objective,
+		Best:      best,
+		Evaluated: evaluated,
+		Config:    append([]int(nil), config...),
+	}
+}
+
 // retryAfter estimates how long a rejected client should wait before
 // resubmitting: the queue's expected drain time given the average job
 // duration and worker count, clamped to [1s, 10min].
 func (m *metrics) retryAfter(queued, workers int) time.Duration {
 	m.mu.Lock()
-	ewma := m.jobEWMA
+	ewma := time.Duration(m.jobEWMA)
 	m.mu.Unlock()
 	if ewma <= 0 {
 		ewma = time.Second
@@ -179,6 +215,14 @@ func (m *metrics) snapshot() Metrics {
 		cp := *h
 		cp.Counts = append([]uint64(nil), h.Counts...)
 		out.BenchWallMS[name] = &cp
+	}
+	if len(m.optimizeBest) > 0 {
+		out.OptimizeBest = make(map[string]*OptimizeStatus, len(m.optimizeBest))
+		for name, st := range m.optimizeBest {
+			cp := *st
+			cp.Config = append([]int(nil), st.Config...)
+			out.OptimizeBest[name] = &cp
+		}
 	}
 	return out
 }

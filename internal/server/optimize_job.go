@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"acedo/internal/experiment"
+	"acedo/internal/optimize"
+	"acedo/internal/telemetry"
+	"acedo/internal/workload"
+)
+
+// OptimizeSchemaVersion identifies the OptimizeSnapshot JSON layout;
+// bump only for breaking changes, like the other schema versions.
+const OptimizeSchemaVersion = 1
+
+// OptimizeSnapshot is the result document of an optimize job: the
+// normalised search spec, the space size, and one search outcome per
+// benchmark in spec order. It carries no wall times or timestamps, so
+// two same-seed jobs produce byte-identical documents (pinned by the
+// determinism tests).
+type OptimizeSnapshot struct {
+	SchemaVersion int           `json:"schema_version"`
+	ScaleDiv      uint64        `json:"scale_div"`
+	Search        optimize.Spec `json:"search"`
+
+	Benchmarks []optimize.BenchResult `json:"benchmarks"`
+}
+
+// runOptimizeJob executes one optimize job: per benchmark, record the
+// baseline once, then let the spec's strategy evaluate candidates as
+// replays of the recorded stream. Search progress streams on the job's
+// event log (one optimize event per generation, regardless of the
+// Events flag) and feeds the /metrics best-so-far gauge live.
+func (s *Server) runOptimizeJob(spec JobSpec, opt experiment.Options, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
+	osp := *spec.Optimize
+	space := optimize.DefaultSpace()
+	var metas []RunMeta
+	doc := OptimizeSnapshot{
+		SchemaVersion: OptimizeSchemaVersion,
+		ScaleDiv:      spec.Scale,
+		Search:        osp,
+		Benchmarks:    []optimize.BenchResult{},
+	}
+	for _, name := range spec.Benchmarks {
+		if canceled(cancel) {
+			return nil, metas, &experiment.RunError{Benchmark: name, Err: experiment.ErrCanceled}
+		}
+		wspec, _ := workload.ByName(name)
+		progress := func(gen, evaluated int, best optimize.Eval, improved bool) {
+			if sink != nil {
+				telemetry.WithRunLabels(sink, name, "optimize").Emit(telemetry.Optimize(
+					osp.Strategy, osp.Objective, gen, uint64(evaluated),
+					best.Value, best.Feasible, improved, best.Genome))
+			}
+			s.metrics.optimizeProgress(name, osp.Objective, best.Value, uint64(evaluated), best.Genome)
+		}
+		res, stats, err := optimize.RunBench(wspec, opt, space, osp, progress)
+		if err != nil {
+			return nil, metas, err
+		}
+		doc.Benchmarks = append(doc.Benchmarks, *res)
+		metas = append(metas,
+			runMetaOf(stats.Base),
+			runMetaOf(stats.ACE),
+			RunMeta{
+				Benchmark:   name,
+				Scheme:      "optimize",
+				Disposition: experiment.RunReplayed,
+				WallMS:      float64(stats.SearchWall.Microseconds()) / 1e3,
+				Instr:       stats.SearchInstr,
+			})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, metas, fmt.Errorf("server: optimize snapshot encode: %w", err)
+	}
+	return buf.Bytes(), metas, nil
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// optimizeSpec is a small, fast search job: 16 candidates of the
+// widened space on the smallest benchmark.
+const optimizeSpec = `{"benchmarks":["compress"],"scale":40,` +
+	`"optimize":{"budget":16,"population":8,"elite":2,"seed":3}}`
+
+// runOptimize submits an optimize spec and returns the finished status
+// and result document.
+func runOptimize(t *testing.T, base, spec string) (JobStatus, []byte) {
+	t.Helper()
+	code, _, body := postJob(t, base, spec)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit optimize: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, base, st.ID, StateDone)
+	if final.Error != "" {
+		t.Fatalf("optimize job failed: %s", final.Error)
+	}
+	_, result := getBody(t, base, final.ResultURL)
+	return final, result
+}
+
+// TestOptimizeJob runs one search job end to end: the result document
+// must be a well-formed OptimizeSnapshot with a feasible best
+// configuration, search progress must stream on the job's event log
+// even though events were not requested, per-run metadata must carry
+// the two reference runs plus the search itself, and /metrics must
+// report the best-so-far gauge.
+func TestOptimizeJob(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	final, result := runOptimize(t, ts.URL, optimizeSpec)
+
+	var snap OptimizeSnapshot
+	if err := json.Unmarshal(result, &snap); err != nil {
+		t.Fatalf("result not an OptimizeSnapshot: %v\n%s", err, result)
+	}
+	if snap.SchemaVersion != OptimizeSchemaVersion || snap.ScaleDiv != 40 {
+		t.Errorf("snapshot header: version=%d scale=%d", snap.SchemaVersion, snap.ScaleDiv)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].Benchmark != "compress" {
+		t.Fatalf("benchmarks: %+v", snap.Benchmarks)
+	}
+	b := snap.Benchmarks[0]
+	if b.Evaluated != 16 {
+		t.Errorf("evaluated %d candidates, want the full budget 16", b.Evaluated)
+	}
+	if len(b.Best.Config) == 0 || b.Best.Description == "" || b.Best.Cycles == 0 {
+		t.Errorf("best candidate incomplete: %+v", b.Best)
+	}
+	if b.ACE.Cycles == 0 || b.Baseline.Cycles == 0 {
+		t.Errorf("reference runs missing: ace=%+v baseline=%+v", b.ACE, b.Baseline)
+	}
+
+	// Per-run metadata: baseline + hotspot references, then the search.
+	if len(final.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3 (baseline, hotspot, optimize)", len(final.Runs))
+	}
+	schemes := []string{final.Runs[0].Scheme, final.Runs[1].Scheme, final.Runs[2].Scheme}
+	if schemes[0] != "baseline" || schemes[1] != "hotspot" || schemes[2] != "optimize" {
+		t.Errorf("run schemes = %v", schemes)
+	}
+	if final.Runs[2].Instr == 0 {
+		t.Errorf("search run meta counted no instructions: %+v", final.Runs[2])
+	}
+
+	// Progress streams on the event log without "events": true.
+	code, events := getBody(t, ts.URL, final.EventsURL)
+	if code != http.StatusOK {
+		t.Fatalf("events: status %d", code)
+	}
+	var progress int
+	for _, line := range bytes.Split(bytes.TrimSuffix(events, []byte("\n")), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var e struct {
+			Type     string `json:"type"`
+			Bench    string `json:"bench"`
+			Optimize *struct {
+				Strategy  string `json:"strategy"`
+				Evaluated uint64 `json:"evaluated"`
+			} `json:"optimize"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("events line not JSON: %v\n%s", err, line)
+		}
+		if e.Type == "optimize" {
+			progress++
+			if e.Bench != "compress" || e.Optimize == nil || e.Optimize.Strategy != "ga" {
+				t.Errorf("malformed progress event: %s", line)
+			}
+		}
+	}
+	if progress == 0 {
+		t.Error("no optimize progress events on the job's event log")
+	}
+
+	// The /metrics gauge reports the final best-so-far.
+	var m Metrics
+	getJSON(t, ts.URL, "/metrics", &m)
+	st := m.OptimizeBest["compress"]
+	if st == nil {
+		t.Fatalf("metrics missing optimize_best for compress: %+v", m.OptimizeBest)
+	}
+	if st.Objective != "edp" || st.Evaluated != 16 {
+		t.Errorf("optimize_best = %+v", st)
+	}
+}
+
+// TestOptimizeJobDeterminism pins the acceptance criterion at the
+// service layer: the same optimize spec executed by two independent
+// daemons produces byte-identical result documents (no cache between
+// them — each runs the search itself).
+func TestOptimizeJobDeterminism(t *testing.T) {
+	_, ts1 := testServer(t, Config{Workers: 2})
+	_, ts2 := testServer(t, Config{Workers: 2})
+	_, r1 := runOptimize(t, ts1.URL, optimizeSpec)
+	_, r2 := runOptimize(t, ts2.URL, optimizeSpec)
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("same-seed optimize runs differ across daemons:\n%s\n%s", r1, r2)
+	}
+
+	// And within one daemon, an equivalent spec with different field
+	// order is a content-addressed cache hit.
+	equiv := `{"scale":40,"optimize":{"seed":3,"budget":16,"elite":2,"population":8},` +
+		`"benchmarks":["compress"]}`
+	code, _, body := postJob(t, ts1.URL, equiv)
+	if code != http.StatusOK {
+		t.Fatalf("equivalent optimize spec: status %d, want 200 (cache hit)\n%s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached {
+		t.Errorf("equivalent optimize spec not served from cache")
+	}
+	_, r3 := getBody(t, ts1.URL, "/v1/jobs/"+st.ID+"/result")
+	if !bytes.Equal(r1, r3) {
+		t.Errorf("cached optimize result not byte-identical")
+	}
+}
+
+// TestOptimizeSpecValidation checks the optimize job's incompatible
+// flags are rejected at submission.
+func TestOptimizeSpecValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	for _, spec := range []string{
+		`{"optimize":{},"schemes":["baseline"]}`,
+		`{"optimize":{},"three_cu":true}`,
+		`{"optimize":{},"no_replay":true}`,
+		`{"optimize":{},"max_instr":1000}`,
+		`{"optimize":{},"faults":{}}`,
+		`{"optimize":{"strategy":"bogus"}}`,
+		`{"optimize":{"budget":-1}}`,
+	} {
+		if code, _, body := postJob(t, ts.URL, spec); code != http.StatusBadRequest {
+			t.Errorf("spec %s: status %d, want 400\n%s", spec, code, body)
+		}
+	}
+
+	// A spec differing only in the optimize clause must hash apart from
+	// the plain comparison spec.
+	plain, err := JobSpec{Benchmarks: []string{"compress"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw JobSpec
+	if err := json.Unmarshal([]byte(`{"benchmarks":["compress"],"optimize":{}}`), &raw); err != nil {
+		t.Fatal(err)
+	}
+	withOpt, err := raw.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := SpecHash(plain)
+	h2, _ := SpecHash(withOpt)
+	if h1 == h2 {
+		t.Errorf("optimize and non-optimize specs share hash %s", h1)
+	}
+}
+
+// TestCacheBudgetCountsRunMeta pins the cache-accounting bugfix: an
+// entry's budgeted footprint includes its run metadata, not just the
+// result bytes, and /metrics-visible size reports the same number.
+func TestCacheBudgetCountsRunMeta(t *testing.T) {
+	// 600 runs of metadata (~40 KiB) behind a 4 KiB result: the old
+	// len(result)-only accounting admitted this into a 16 KiB budget.
+	runs := make([]RunMeta, 600)
+	for i := range runs {
+		runs[i] = RunMeta{Benchmark: "compress", Scheme: "baseline", Disposition: "replayed"}
+	}
+	heavy := &cacheEntry{result: bytes.Repeat([]byte("x"), 4<<10), runs: runs}
+	if got := entrySize(heavy); got <= int64(len(heavy.result)) {
+		t.Fatalf("entrySize(%d result bytes + %d runs) = %d; metadata not accounted",
+			len(heavy.result), len(runs), got)
+	}
+
+	c := newResultCache(16 << 10)
+	c.put("heavy", heavy)
+	if _, _, entries, size := c.stats(); entries != 0 || size != 0 {
+		t.Errorf("over-budget entry admitted: entries=%d size=%d", entries, size)
+	}
+
+	// An entry that fits charges its full footprint.
+	light := &cacheEntry{result: []byte("{}"), runs: runs[:10]}
+	c.put("light", light)
+	if _, _, entries, size := c.stats(); entries != 1 || size != entrySize(light) {
+		t.Errorf("stats after put: entries=%d size=%d, want 1 entry of %d bytes",
+			entries, size, entrySize(light))
+	}
+}
+
+// TestJobEWMAConverges pins the EWMA rounding bugfix: with
+// nanosecond-scale deltas the old integer-division update truncated to
+// zero, so the estimate stuck at whatever the first job set. The
+// float64 average must converge toward the steady-state wall time.
+func TestJobEWMAConverges(t *testing.T) {
+	m := newMetrics()
+	m.jobFinished(StateDone, time.Second+2*time.Nanosecond, nil)
+	for i := 0; i < 50; i++ {
+		m.jobFinished(StateDone, time.Second, nil)
+	}
+	if ewma := m.jobEWMA; ewma >= float64(time.Second)+1 {
+		t.Errorf("EWMA stuck at %v ns after 50 identical 1s jobs", ewma)
+	}
+
+	// And it still tracks large shifts: a run of 4s jobs pulls the
+	// estimate (and the Retry-After it feeds) well above 1s.
+	for i := 0; i < 50; i++ {
+		m.jobFinished(StateDone, 4*time.Second, nil)
+	}
+	if ewma := time.Duration(m.jobEWMA); ewma < 3*time.Second {
+		t.Errorf("EWMA %v after a run of 4s jobs, want near 4s", ewma)
+	}
+	if retry := m.retryAfter(3, 2); retry < 4*time.Second {
+		t.Errorf("retryAfter(3 queued, 2 workers) = %v, want (3+1)/2 x ~4s", retry)
+	}
+}

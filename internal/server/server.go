@@ -202,8 +202,8 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheBytes),
 		metrics: newMetrics(),
 		jobs:    make(map[string]*job),
-		runFn:   runJob,
 	}
+	s.runFn = s.runJob
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -332,11 +332,10 @@ func (s *Server) runGuarded(j *job) (result []byte, runs []RunMeta, err error) {
 			err = fmt.Errorf("server: job panicked: %v", r)
 		}
 	}()
-	var sink *eventLog
-	if j.spec.Events {
-		sink = j.events
-	}
-	return s.runFn(j.spec, sink, j.cancel)
+	// The job's event log is always handed down: runJob attaches run
+	// telemetry to it only when the spec requests events, but optimize
+	// jobs stream their per-generation search progress regardless.
+	return s.runFn(j.spec, j.events, j.cancel)
 }
 
 // handleSubmit is POST /v1/jobs: validate, answer from the result

@@ -139,6 +139,26 @@ func (c *jsonlEncoder) encode(e Event) ([]byte, error) {
 		}
 		c.byte('}')
 	}
+	if p := e.Optimize; p != nil {
+		c.objectField("optimize")
+		c.stringField("strategy", p.Strategy)
+		c.stringField("objective", p.Objective)
+		c.intField("generation", p.Generation)
+		c.uintField("evaluated", p.Evaluated)
+		if p.Best != 0 {
+			c.floatField("best", p.Best)
+		}
+		if p.Feasible {
+			c.boolField("feasible", p.Feasible)
+		}
+		if p.Improved {
+			c.boolField("improved", p.Improved)
+		}
+		if len(p.Config) > 0 {
+			c.intsField("config", p.Config)
+		}
+		c.byte('}')
+	}
 	c.byte('}')
 	return c.buf, c.err
 }

@@ -36,6 +36,8 @@ func encodeCorpus() []Event {
 		Replay("replayed", "", 123456, 7890),
 		Replay("fallback", "rtrace: replayed scheme diverged from recorded stream", 1, 1),
 		{Type: TypeReplay, Replay: &ReplayEvent{Disposition: "recorded"}},
+		Optimize("ga", "edp", 12, 480, 1234.5625, true, true, []int{0, 3, 1, 2, 0, 1, 2, 3}),
+		{Type: TypeOptimize, Optimize: &OptimizeEvent{Strategy: "sa", Objective: "energy", Generation: 0, Evaluated: 1}},
 		{Type: "future-type", Instr: math.MaxUint64},
 	}
 }

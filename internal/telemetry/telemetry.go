@@ -53,6 +53,10 @@ const (
 	// replayed from the benchmark's recorded architectural trace or
 	// fell back to direct execution (with the divergence reason).
 	TypeReplay Type = "replay"
+	// TypeOptimize is a search-progress report from an optimize job
+	// (internal/optimize): one event per completed generation /
+	// annealing epoch with the evaluation count and best-so-far.
+	TypeOptimize Type = "optimize"
 )
 
 // Event is one entry of the run's event log. Type selects which of the
@@ -72,6 +76,7 @@ type Event struct {
 	Interval    *IntervalMetrics  `json:"interval,omitempty"`
 	Degraded    *DegradedEvent    `json:"degraded,omitempty"`
 	Replay      *ReplayEvent      `json:"replay,omitempty"`
+	Optimize    *OptimizeEvent    `json:"optimize,omitempty"`
 }
 
 // ReconfigureEvent is an accepted configuration change: the unit and
@@ -181,6 +186,35 @@ func Replay(disposition, reason string, events, bytes uint64) Event {
 	return Event{Type: TypeReplay,
 		Replay: &ReplayEvent{Disposition: disposition, Reason: reason,
 			TraceEvents: events, TraceBytes: bytes}}
+}
+
+// OptimizeEvent is one search-progress report from an optimize job:
+// the strategy's generation (or annealing epoch) counter, how many
+// distinct candidate configurations have been evaluated so far, and
+// the best candidate found to date. Best carries the objective value
+// (always finite — infeasibility is the Feasible flag, not a sentinel
+// value), and Config the best candidate's per-dimension choice indices
+// in the search space's dimension order.
+type OptimizeEvent struct {
+	Strategy   string  `json:"strategy"`
+	Objective  string  `json:"objective"`
+	Generation int     `json:"generation"`
+	Evaluated  uint64  `json:"evaluated"`
+	Best       float64 `json:"best,omitempty"`
+	// Feasible reports whether the best candidate satisfies the
+	// job's slowdown constraint.
+	Feasible bool `json:"feasible,omitempty"`
+	// Improved marks a generation that moved the best-so-far.
+	Improved bool  `json:"improved,omitempty"`
+	Config   []int `json:"config,omitempty"`
+}
+
+// Optimize builds a search-progress event.
+func Optimize(strategy, objective string, generation int, evaluated uint64, best float64, feasible, improved bool, config []int) Event {
+	return Event{Type: TypeOptimize,
+		Optimize: &OptimizeEvent{Strategy: strategy, Objective: objective,
+			Generation: generation, Evaluated: evaluated,
+			Best: best, Feasible: feasible, Improved: improved, Config: config}}
 }
 
 // MachineReconfigure adapts a Sink to the machine's OnReconfigure

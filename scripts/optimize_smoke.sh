@@ -1,0 +1,60 @@
+#!/bin/sh
+# Optimize smoke test (CI): drive a small genetic-algorithm
+# configuration search through acelabd via `acelab optimize` and check
+# the service-level determinism contract —
+#   1. the same seeded search executed by two independent daemons must
+#      produce byte-identical result documents (no cache between them:
+#      each daemon runs the search itself);
+#   2. resubmitting the spec to the first daemon must be a
+#      content-addressed cache hit (job born done, cached:true);
+#   3. the search must spend its full candidate budget.
+set -eu
+
+GO=${GO:-go}
+ADDR1=${ADDR1:-127.0.0.1:8331}
+ADDR2=${ADDR2:-127.0.0.1:8332}
+TMP=${TMPDIR:-/tmp}
+
+SPEC='{"benchmarks":["compress"],"scale":40,"optimize":{"budget":32,"population":8,"elite":2,"seed":5}}'
+
+$GO build -o "$TMP/acelabd" ./cmd/acelabd
+$GO build -o "$TMP/acelab" ./cmd/acelab
+
+wait_up() {
+    i=0
+    until "$TMP/acelab" -server "http://$1" metrics >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "optimize-smoke: daemon on $1 never came up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+"$TMP/acelabd" -addr "$ADDR1" -q &
+pid1=$!
+"$TMP/acelabd" -addr "$ADDR2" -q &
+pid2=$!
+trap 'kill "$pid1" "$pid2" 2>/dev/null || true' EXIT
+wait_up "$ADDR1"
+wait_up "$ADDR2"
+
+echo "optimize-smoke: running the seeded search on two independent daemons"
+"$TMP/acelab" -server "http://$ADDR1" -poll 200ms optimize "$SPEC" > "$TMP/acedo_opt1.json"
+"$TMP/acelab" -server "http://$ADDR2" -poll 200ms optimize "$SPEC" > "$TMP/acedo_opt2.json"
+
+cmp "$TMP/acedo_opt1.json" "$TMP/acedo_opt2.json"
+echo "optimize-smoke: same-seed searches byte-identical across daemons"
+
+grep -q '"evaluated": 32' "$TMP/acedo_opt1.json" || {
+    echo "optimize-smoke: search did not spend its 32-candidate budget" >&2
+    exit 1
+}
+
+"$TMP/acelab" -server "http://$ADDR1" submit "$SPEC" > "$TMP/acedo_opt_resubmit.json"
+grep -q '"cached": true' "$TMP/acedo_opt_resubmit.json"
+grep -q '"state": "done"' "$TMP/acedo_opt_resubmit.json"
+echo "optimize-smoke: resubmission answered from the result cache"
+
+kill -TERM "$pid1" "$pid2"
+wait "$pid1" "$pid2"
+trap - EXIT
+echo "optimize-smoke: ok"

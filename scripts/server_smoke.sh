@@ -6,7 +6,9 @@
 #      byte-identical to `acetables -json`;
 #   2. resubmitting the same spec must be a content-addressed cache
 #      hit (job born done, cached:true);
-#   3. SIGTERM must drain and exit cleanly.
+#   3. a daemon with a full queue must answer 429 and the client must
+#      honor the backpressure with its bounded retry loop;
+#   4. SIGTERM must drain and exit cleanly.
 set -eu
 
 GO=${GO:-go}
@@ -46,3 +48,41 @@ kill -TERM "$pid"
 wait "$pid"
 trap - EXIT
 echo "server-smoke: SIGTERM drained cleanly"
+
+# Backpressure: a one-worker, one-slot daemon with both occupied must
+# reject the next submission with 429, and the client must retry
+# (honoring Retry-After) before surfacing the failure.
+BP_ADDR=${BP_ADDR:-127.0.0.1:8322}
+"$TMP/acelabd" -addr "$BP_ADDR" -workers 1 -queue 1 -q &
+bp_pid=$!
+trap 'kill -9 "$bp_pid" 2>/dev/null || true' EXIT
+i=0
+until "$TMP/acelab" -server "http://$BP_ADDR" metrics >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 100 ] && { echo "server-smoke: backpressure daemon never came up" >&2; exit 1; }
+    sleep 0.1
+done
+
+# Two slow jobs fill the worker and the queue slot.
+"$TMP/acelab" -server "http://$BP_ADDR" submit '{"scale":3}' >/dev/null
+"$TMP/acelab" -server "http://$BP_ADDR" submit '{"scale":3,"run_meta":true}' >/dev/null
+
+if "$TMP/acelab" -server "http://$BP_ADDR" -retries 2 submit '{"scale":3,"events":true}' \
+        >/dev/null 2> "$TMP/acedo_429.err"; then
+    echo "server-smoke: third submission accepted; queue never filled" >&2
+    exit 1
+fi
+grep -q 'retrying' "$TMP/acedo_429.err" || {
+    echo "server-smoke: client did not retry on 429:" >&2
+    cat "$TMP/acedo_429.err" >&2
+    exit 1
+}
+grep -q '429' "$TMP/acedo_429.err" || {
+    echo "server-smoke: client failure does not surface the 429:" >&2
+    cat "$TMP/acedo_429.err" >&2
+    exit 1
+}
+echo "server-smoke: 429 backpressure honored with bounded retries"
+kill -9 "$bp_pid" 2>/dev/null || true
+trap - EXIT
+echo "server-smoke: ok"
