@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-snapshot bench-record bench-compare replay-check tables vet fmt fmt-check cover fuzz chaos doclint server-smoke optimize-smoke ci clean
+.PHONY: all build test test-short bench bench-snapshot bench-record bench-compare replay-check tables vet fmt fmt-check cover fuzz chaos doclint server-smoke optimize-smoke crash-smoke ci clean
 
 all: build test
 
@@ -103,7 +103,7 @@ chaos:
 # exported identifiers anywhere in the module, and no dead relative
 # links in the markdown docs.
 doclint: vet
-	$(GO) run ./cmd/doclint . $(wildcard internal/*) $(wildcard cmd/*)
+	$(GO) run ./cmd/doclint . $(wildcard internal/*) internal/server/store $(wildcard cmd/*)
 	$(GO) run ./cmd/doclint -md README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/API.md
 
 # Boot acelabd, drive it with acelab, and diff the service's result
@@ -119,6 +119,13 @@ server-smoke:
 optimize-smoke:
 	sh scripts/optimize_smoke.sh
 
+# Kill -9 a crash-safe acelabd (-data-dir) mid-job and restart it on
+# the same data dir: the journal must requeue the interrupted job and
+# the resubmitted finished spec must hit the recovered disk store
+# byte-identically (CI server-smoke job).
+crash-smoke:
+	sh scripts/crash_smoke.sh
+
 # Everything the CI workflow runs, locally.
 ci: build vet fmt-check doclint
 	$(GO) test -race ./...
@@ -129,6 +136,7 @@ ci: build vet fmt-check doclint
 	$(MAKE) chaos
 	$(MAKE) server-smoke
 	$(MAKE) optimize-smoke
+	$(MAKE) crash-smoke
 
 clean:
 	$(GO) clean ./...

@@ -15,20 +15,30 @@
 // A spec argument of "-" (or none) reads the JSON spec from stdin; an
 // empty object {} is the full default evaluation.
 //
-// When the daemon's queue is full it answers 429 with a Retry-After
-// estimate; submit, run, and optimize honor it with a bounded retry
-// loop (-retries) instead of failing on the first rejection.
+// The client is partition-tolerant: every request carries a timeout
+// (-timeout), transient failures — connection errors, injected or real
+// 5xx, and 429 backpressure — share one bounded retry loop (-retries)
+// with jittered exponential backoff (Retry-After wins when the daemon
+// provides it), a small circuit breaker fails fast while the daemon is
+// clearly down, and a dropped events stream reconnects with ?offset to
+// resume where it left off. SIGINT/SIGTERM cancels promptly, even
+// mid-backoff.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -55,14 +65,23 @@ func main() {
 		serverURL = flag.String("server", "http://localhost:8080", "acelabd base URL")
 		poll      = flag.Duration("poll", 500*time.Millisecond, "status poll interval for run")
 		noFollow  = flag.Bool("no-follow", false, "events: dump buffered events and exit")
-		retries   = flag.Int("retries", 8, "max submit attempts while the daemon reports backpressure (429)")
+		retries   = flag.Int("retries", 8, "max attempts per request across backpressure (429), connection errors, and 5xx")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (streaming requests are exempt)")
 	)
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 	}
-	c := client{base: strings.TrimRight(*serverURL, "/"), retries: *retries}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := client{
+		base:    strings.TrimRight(*serverURL, "/"),
+		retries: *retries,
+		ctx:     ctx,
+		httpc:   &http.Client{Timeout: *timeout},
+		brk:     &breaker{threshold: 5, cooldown: 10 * time.Second},
+	}
 	cmd, arg := flag.Arg(0), flag.Arg(1)
 
 	var err error
@@ -78,11 +97,7 @@ func main() {
 	case "result":
 		err = c.get("/v1/jobs/"+arg+"/result", os.Stdout)
 	case "events":
-		path := "/v1/jobs/" + arg + "/events"
-		if *noFollow {
-			path += "?follow=0"
-		}
-		err = c.get(path, os.Stdout)
+		err = c.streamEvents(arg, !*noFollow, os.Stdout)
 	case "cancel":
 		err = c.do(http.MethodDelete, "/v1/jobs/"+arg, nil, os.Stdout)
 	case "jobs":
@@ -98,10 +113,103 @@ func main() {
 	}
 }
 
-// client wraps the daemon's base URL and the submit retry budget.
+// client wraps the daemon's base URL with the pieces that make it
+// partition-tolerant: a retry budget shared by every transient-failure
+// path, a cancellation context (SIGINT/SIGTERM), a timeout-bearing
+// HTTP client, and a circuit breaker. The zero value still works
+// (tests build one with just base and retries): nil fields degrade to
+// context.Background, http.DefaultClient, and no breaker.
 type client struct {
 	base    string
 	retries int
+	ctx     context.Context
+	httpc   *http.Client
+	brk     *breaker
+}
+
+// context returns the client's cancellation context.
+func (c client) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// httpClient returns the client used for bounded (non-streaming)
+// requests.
+func (c client) httpClient() *http.Client {
+	if c.httpc == nil {
+		return http.DefaultClient
+	}
+	return c.httpc
+}
+
+// now is time.Now, swappable so breaker tests control the clock.
+var now = time.Now
+
+// breaker is a minimal circuit breaker: threshold consecutive
+// connection-level failures open the circuit, and while it is open
+// every request fails fast instead of waiting out a timeout against a
+// daemon that is clearly down. After cooldown the next request goes
+// through as the probe; its outcome re-closes or re-opens the circuit.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a request may proceed, with the remaining
+// cooldown when it may not.
+func (b *breaker) allow() (bool, time.Duration) {
+	if b == nil || b.openUntil.IsZero() {
+		return true, 0
+	}
+	if left := b.openUntil.Sub(now()); left > 0 {
+		return false, left
+	}
+	// Cooldown over: let one probe through; failure() re-opens.
+	b.openUntil = time.Time{}
+	return true, 0
+}
+
+// success records a reachable daemon (any HTTP response counts — a
+// 429 or 500 is still a live daemon) and closes the circuit.
+func (b *breaker) success() {
+	if b != nil {
+		b.fails, b.openUntil = 0, time.Time{}
+	}
+}
+
+// failure records one connection-level failure, opening the circuit at
+// the threshold.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = now().Add(b.cooldown)
+	}
+}
+
+// errCircuitOpen marks fail-fast rejections from the breaker.
+var errCircuitOpen = errors.New("circuit open")
+
+// roundTrip performs one request through the breaker, reporting
+// connection-level outcomes to it. Any HTTP response — success or
+// error status — closes the circuit: the daemon answered.
+func (c client) roundTrip(req *http.Request) (*http.Response, error) {
+	if ok, left := c.brk.allow(); !ok {
+		return nil, fmt.Errorf("%w: daemon unreachable, retrying in %s", errCircuitOpen, left.Round(time.Millisecond))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		c.brk.failure()
+		return nil, err
+	}
+	c.brk.success()
+	return resp, nil
 }
 
 // get fetches path and copies the body to out, treating non-2xx as an
@@ -113,11 +221,11 @@ func (c client) get(path string, out io.Writer) error {
 // do performs one request. Non-2xx responses become errors with the
 // response body (the daemon's JSON error document) attached.
 func (c client) do(method, path string, body io.Reader, out io.Writer) error {
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequestWithContext(c.context(), method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := c.roundTrip(req)
 	if err != nil {
 		return err
 	}
@@ -153,12 +261,48 @@ func readSpec(arg string) (string, error) {
 // sleep is time.Sleep, swappable so the retry-loop tests run fast.
 var sleep = time.Sleep
 
-// postJob POSTs the spec with a bounded retry loop on backpressure.
-// A 429 (queue full) is not a failure: the daemon's Retry-After header
-// estimates the queue's drain time, so the client waits that long
-// (capped, with an exponential fallback when the header is absent) and
-// resubmits, up to c.retries attempts. Any other non-success status —
-// and the final 429 once attempts are exhausted — surfaces as an error
+// jitter spreads a backoff pause by up to +25% so a fleet of clients
+// rejected together does not resubmit together. Tests pin it to the
+// identity.
+var jitter = func(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int63n(int64(d/4)+1))
+}
+
+// pause sleeps for d or until the client's context is canceled,
+// returning the context's error in that case — a SIGINT mid-backoff
+// exits promptly instead of waiting out the full pause.
+func (c client) pause(d time.Duration) error {
+	ctx := c.context()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	woke := make(chan struct{})
+	go func() {
+		sleep(d)
+		close(woke)
+	}()
+	select {
+	case <-woke:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// postJob POSTs the spec with one bounded retry loop over every
+// transient failure mode:
+//
+//   - 429 (queue full): the daemon's Retry-After header estimates the
+//     queue's drain time, so the client waits that long (capped).
+//   - Connection errors and 5xx (a restarting daemon, a partition, an
+//     injected fault): jittered exponential backoff.
+//
+// Both paths share the c.retries attempt budget and honor cancellation
+// between pauses. Any other non-success status — and the final
+// transient failure once attempts are exhausted — surfaces as an error
 // carrying the daemon's response body.
 func (c client) postJob(spec string) ([]byte, error) {
 	if c.retries < 1 {
@@ -166,31 +310,126 @@ func (c client) postJob(spec string) ([]byte, error) {
 	}
 	var lastErr error
 	for attempt := 1; attempt <= c.retries; attempt++ {
-		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", strings.NewReader(spec))
+		req, err := http.NewRequestWithContext(c.context(), http.MethodPost, c.base+"/v1/jobs", strings.NewReader(spec))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			return nil, err
+		var retryHeader, reason string
+		resp, err := c.roundTrip(req)
+		switch {
+		case err != nil && c.context().Err() != nil:
+			return nil, err // canceled: not worth retrying
+		case err != nil:
+			lastErr = fmt.Errorf("submit: %w", err)
+			reason = "daemon unreachable"
+		default:
+			body, _ := io.ReadAll(resp.Body)
+			retryHeader = resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+				return body, nil
+			case resp.StatusCode == http.StatusTooManyRequests:
+				reason = "queue full"
+			case resp.StatusCode >= 500:
+				reason = "daemon error"
+			default:
+				return nil, fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+			}
+			lastErr = fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
-			return body, nil
-		}
-		lastErr = fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-		if resp.StatusCode != http.StatusTooManyRequests || attempt == c.retries {
+		if attempt == c.retries {
 			return nil, lastErr
 		}
-		wait := retryWait(resp.Header.Get("Retry-After"), attempt)
-		fmt.Fprintf(os.Stderr, "acelab: queue full, retrying in %s (attempt %d/%d)\n",
-			wait, attempt, c.retries)
-		sleep(wait)
+		wait := jitter(retryWait(retryHeader, attempt))
+		fmt.Fprintf(os.Stderr, "acelab: %s, retrying in %s (attempt %d/%d)\n",
+			reason, wait, attempt, c.retries)
+		if err := c.pause(wait); err != nil {
+			return nil, fmt.Errorf("submit: %w", err)
+		}
 	}
 	return nil, lastErr
 }
+
+// streamEvents follows one job's telemetry stream, resuming after a
+// dropped connection: the client counts the bytes it has delivered and
+// reconnects with ?offset so the daemon replays nothing and skips
+// nothing. Reconnects draw on the c.retries budget with jittered
+// exponential backoff; delivering any bytes refills the budget, so a
+// long stream over a flaky link keeps going as long as it keeps making
+// progress. HTTP error statuses (unknown job, bad offset) are
+// terminal, not retried.
+func (c client) streamEvents(id string, follow bool, out io.Writer) error {
+	offset := 0
+	attempt := 0
+	for {
+		path := fmt.Sprintf("/v1/jobs/%s/events?offset=%d", id, offset)
+		if !follow {
+			path += "&follow=0"
+		}
+		n, err := c.copyStream(path, out)
+		offset += n
+		if err == nil {
+			return nil
+		}
+		var terminal *statusError
+		if errors.As(err, &terminal) || c.context().Err() != nil {
+			return err
+		}
+		if n > 0 {
+			attempt = 0 // progress: the link works, keep following
+		}
+		attempt++
+		if attempt >= c.retries {
+			return fmt.Errorf("events: %w", err)
+		}
+		wait := jitter(retryWait("", attempt))
+		fmt.Fprintf(os.Stderr, "acelab: events stream dropped (%v), resuming at offset %d in %s\n",
+			err, offset, wait)
+		if perr := c.pause(wait); perr != nil {
+			return fmt.Errorf("events: %w", perr)
+		}
+	}
+}
+
+// statusError is a non-2xx HTTP response: the daemon answered and
+// meant it, so retrying cannot help.
+type statusError struct{ msg string }
+
+// Error returns the daemon's rejection.
+func (e *statusError) Error() string { return e.msg }
+
+// copyStream GETs one streaming path without an overall timeout
+// (event streams legitimately run for the life of the job) and copies
+// the body to out, returning how many bytes were delivered before the
+// stream ended or failed.
+func (c client) copyStream(path string, out io.Writer) (int, error) {
+	req, err := http.NewRequestWithContext(c.context(), http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	if ok, left := c.brk.allow(); !ok {
+		return 0, fmt.Errorf("%w: daemon unreachable, retrying in %s", errCircuitOpen, left.Round(time.Millisecond))
+	}
+	resp, err := streamClient.Do(req)
+	if err != nil {
+		c.brk.failure()
+		return 0, err
+	}
+	c.brk.success()
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		b, _ := io.ReadAll(resp.Body)
+		return 0, &statusError{msg: fmt.Sprintf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(b)))}
+	}
+	n, err := io.Copy(out, resp.Body)
+	return int(n), err
+}
+
+// streamClient carries streaming requests: no overall timeout — an
+// event stream follows its job for as long as the job runs.
+var streamClient = &http.Client{}
 
 // retryWait picks the pause before the next submit attempt: the
 // daemon's Retry-After seconds when present (capped at a minute so a
@@ -276,12 +515,24 @@ func (c client) runSpec(spec string, wait bool, poll time.Duration) error {
 	if err := json.Unmarshal(body, &st); err != nil {
 		return fmt.Errorf("submit: decode status: %w", err)
 	}
+	// Poll to a terminal state, tolerating up to c.retries consecutive
+	// failed polls (a daemon mid-restart answers nothing for a moment;
+	// the job itself is journaled and survives).
+	failed := 0
 	for st.State == "queued" || st.State == "running" {
-		time.Sleep(poll)
-		var buf strings.Builder
-		if err := c.get("/v1/jobs/"+st.ID, &buf); err != nil {
+		if err := c.pause(poll); err != nil {
 			return err
 		}
+		var buf strings.Builder
+		if err := c.get("/v1/jobs/"+st.ID, &buf); err != nil {
+			failed++
+			if failed >= c.retries || c.context().Err() != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "acelab: poll failed (%v), retrying\n", err)
+			continue
+		}
+		failed = 0
 		if err := json.Unmarshal([]byte(buf.String()), &st); err != nil {
 			return fmt.Errorf("poll: decode status: %w", err)
 		}

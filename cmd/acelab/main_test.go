@@ -1,21 +1,28 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 )
 
-// fakeSleep records requested pauses instead of sleeping.
+// fakeSleep records requested pauses instead of sleeping, and pins
+// jitter to the identity so tests can assert exact backoff values.
 func fakeSleep(t *testing.T) *[]time.Duration {
 	t.Helper()
 	var slept []time.Duration
-	old := sleep
+	oldSleep, oldJitter := sleep, jitter
 	sleep = func(d time.Duration) { slept = append(slept, d) }
-	t.Cleanup(func() { sleep = old })
+	jitter = func(d time.Duration) time.Duration { return d }
+	t.Cleanup(func() { sleep, jitter = oldSleep, oldJitter })
 	return &slept
 }
 
@@ -98,6 +105,181 @@ func TestPostJobNoRetryOnOtherErrors(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Errorf("made %d requests, want 1 (no retry on 400)", calls)
+	}
+}
+
+// TestPostJobHonorsCancellation pins the SIGINT regression: a context
+// canceled while the retry loop is waiting out a backoff pause must
+// abort the loop promptly instead of sleeping on and resubmitting.
+func TestPostJobHonorsCancellation(t *testing.T) {
+	oldSleep, oldJitter := sleep, jitter
+	jitter = func(d time.Duration) time.Duration { return d }
+	t.Cleanup(func() { sleep, jitter = oldSleep, oldJitter })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// The stubbed sleep is the moment the signal arrives: cancel and
+	// never wake, as a real 30s pause interrupted by SIGINT would.
+	sleep = func(d time.Duration) {
+		cancel()
+		select {} // block forever; pause must return via ctx.Done
+	}
+
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"job queue full"}`))
+	}))
+	defer srv.Close()
+
+	c := client{base: srv.URL, retries: 8, ctx: ctx}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.postJob(`{}`)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("postJob returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("postJob did not return after cancellation mid-backoff")
+	}
+	if calls != 1 {
+		t.Errorf("made %d requests, want 1 (no resubmit after cancel)", calls)
+	}
+}
+
+// TestPostJobRetriesServerErrors checks 5xx joins the retry loop: a
+// daemon answering 500 (an injected service fault, a mid-restart blip)
+// is retried with backoff rather than failed on first contact.
+func TestPostJobRetriesServerErrors(t *testing.T) {
+	slept := fakeSleep(t)
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"injected service fault"}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j1","state":"queued"}`))
+	}))
+	defer srv.Close()
+
+	c := client{base: srv.URL, retries: 8}
+	if _, err := c.postJob(`{}`); err != nil {
+		t.Fatalf("postJob: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("made %d requests, want 3 (two 500s then accepted)", calls)
+	}
+	// No Retry-After on a 500: exponential fallback, 1s then 2s.
+	if len(*slept) != 2 || (*slept)[0] != time.Second || (*slept)[1] != 2*time.Second {
+		t.Errorf("waits %v, want [1s 2s] exponential fallback", *slept)
+	}
+}
+
+// TestBreakerOpensAndRecovers drives the circuit breaker through its
+// full cycle: consecutive connection failures open it, requests fail
+// fast while it is open, and the post-cooldown probe closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	oldNow := now
+	now = func() time.Time { return clock }
+	t.Cleanup(func() { now = oldNow })
+
+	b := &breaker{threshold: 3, cooldown: 10 * time.Second}
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("breaker open after %d failures, threshold 3", i)
+		}
+		b.failure()
+	}
+	if ok, left := b.allow(); ok || left != 10*time.Second {
+		t.Fatalf("breaker allow after threshold = (%v, %v), want open for 10s", ok, left)
+	}
+	clock = clock.Add(5 * time.Second)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker closed mid-cooldown")
+	}
+	clock = clock.Add(6 * time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker refused the post-cooldown probe")
+	}
+	b.success()
+	b.failure() // one failure after recovery must not re-open
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker re-opened after a single post-recovery failure")
+	}
+}
+
+// TestStreamEventsResumesByOffset drops the events stream mid-body and
+// checks the client reconnects with ?offset=<bytes delivered> and
+// stitches the halves together without duplication.
+func TestStreamEventsResumesByOffset(t *testing.T) {
+	fakeSleep(t)
+	full := "{\"ev\":1}\n{\"ev\":2}\n{\"ev\":3}\n"
+	cut := len(full) / 2
+	var offsets []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		off := r.URL.Query().Get("offset")
+		offsets = append(offsets, off)
+		n := 0
+		fmt.Sscan(off, &n)
+		if len(offsets) == 1 {
+			// First connection: send half, then kill the connection
+			// without a clean close.
+			w.Header().Set("Content-Length", strconv.Itoa(len(full)-n))
+			w.Write([]byte(full[n : n+cut]))
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Write([]byte(full[n:]))
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	c := client{base: srv.URL, retries: 4}
+	if err := c.streamEvents("j1", true, &out); err != nil {
+		t.Fatalf("streamEvents: %v", err)
+	}
+	if out.String() != full {
+		t.Errorf("stitched stream = %q, want %q", out.String(), full)
+	}
+	if len(offsets) != 2 || offsets[0] != "0" || offsets[1] != strconv.Itoa(cut) {
+		t.Errorf("offsets %v, want [0 %d]", offsets, cut)
+	}
+}
+
+// TestStreamEventsTerminalStatus checks an HTTP error status is not
+// retried: the daemon answered, so reconnecting cannot help.
+func TestStreamEventsTerminalStatus(t *testing.T) {
+	fakeSleep(t)
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":"unknown job"}`))
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	c := client{base: srv.URL, retries: 8}
+	if err := c.streamEvents("nope", true, &out); err == nil {
+		t.Fatal("streamEvents retried through a 404")
+	}
+	if calls != 1 {
+		t.Errorf("made %d requests, want 1 (no retry on 404)", calls)
 	}
 }
 

@@ -30,18 +30,21 @@ import (
 	"syscall"
 	"time"
 
+	"acedo/internal/fault"
 	"acedo/internal/server"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "job queue depth (0 = default 16)")
-		cacheMB = flag.Int64("cache-mb", 0, "result cache budget in MiB (0 = default 256)")
-		maxJobs = flag.Int("max-jobs", 0, "retained job records (0 = default 1024)")
-		drain   = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
-		quiet   = flag.Bool("q", false, "suppress per-job log lines")
+		addr      = flag.String("addr", "localhost:8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "job queue depth (0 = default 16)")
+		cacheMB   = flag.Int64("cache-mb", 0, "result cache budget in MiB (0 = default 256)")
+		maxJobs   = flag.Int("max-jobs", 0, "retained job records (0 = default 1024)")
+		dataDir   = flag.String("data-dir", "", "crash-safe mode: persist results and journal jobs under this directory")
+		svcFaults = flag.String("service-faults", "", "JSON fault plan injecting service-level faults (disk errors, torn writes, HTTP latency/500s, stream disconnects)")
+		drain     = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
+		quiet     = flag.Bool("q", false, "suppress per-job log lines")
 	)
 	flag.Parse()
 
@@ -49,13 +52,28 @@ func main() {
 	if *quiet {
 		logw = nil
 	}
-	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheBytes: *cacheMB << 20,
-		MaxJobs:    *maxJobs,
-		Log:        logw,
+	var plan *fault.Plan
+	if *svcFaults != "" {
+		var err error
+		plan, err = fault.LoadPlan(*svcFaults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acelabd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	srv, err := server.New(server.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheBytes:    *cacheMB << 20,
+		MaxJobs:       *maxJobs,
+		DataDir:       *dataDir,
+		ServiceFaults: plan,
+		Log:           logw,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acelabd: %v\n", err)
+		os.Exit(1)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)

@@ -79,7 +79,10 @@ func metrics(base string) server.Metrics {
 }
 
 func main() {
-	srv := server.New(server.Config{Workers: 2})
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

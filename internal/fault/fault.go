@@ -43,6 +43,25 @@ const (
 	// PointRun intercepts the start of one experiment run: the run
 	// panics, exercising the suite's isolation layer.
 	PointRun Point = "run"
+
+	// Service-level points, consulted by the daemon through a Service
+	// injector (one layer above the simulator's run-level points).
+
+	// PointStoreWrite intercepts one durable-store write (a result
+	// file or a journal append): the write can fail outright or be
+	// torn — truncated mid-payload, as a crash between write and
+	// fsync would leave it.
+	PointStoreWrite Point = "store-write"
+	// PointStoreSync intercepts an fsync on the durable store: the
+	// sync can fail.
+	PointStoreSync Point = "store-sync"
+	// PointHTTP intercepts one HTTP request before its handler: the
+	// request can be delayed or answered with an injected 500.
+	PointHTTP Point = "http"
+	// PointEventStream intercepts one event-stream write: the
+	// connection can be dropped mid-stream, exercising client
+	// reconnect-and-resume.
+	PointEventStream Point = "event-stream"
 )
 
 // Kind selects what happens when a rule fires.
@@ -64,6 +83,20 @@ const (
 	KindBitFlip Kind = "bitflip"
 	// KindPanic panics the run with an InjectedPanic value.
 	KindPanic Kind = "panic"
+	// KindError fails a store write or fsync with an injected error.
+	KindError Kind = "error"
+	// KindTorn truncates a store write mid-payload: the bytes that
+	// reach the disk are a strict prefix, as after a crash between
+	// write and sync.
+	KindTorn Kind = "torn"
+	// KindLatency delays an HTTP request by DelayMS before its
+	// handler runs.
+	KindLatency Kind = "latency"
+	// KindFail answers an HTTP request with an injected 500 instead
+	// of running its handler.
+	KindFail Kind = "fail"
+	// KindDisconnect drops an event-stream connection mid-stream.
+	KindDisconnect Kind = "disconnect"
 )
 
 // pointKinds lists the kinds valid at each point.
@@ -73,6 +106,20 @@ var pointKinds = map[Point][]Kind{
 	PointTimerSample:  {KindDrop, KindDuplicate},
 	PointBBVSignature: {KindBitFlip},
 	PointRun:          {KindPanic},
+	PointStoreWrite:   {KindError, KindTorn},
+	PointStoreSync:    {KindError},
+	PointHTTP:         {KindLatency, KindFail},
+	PointEventStream:  {KindDisconnect},
+}
+
+// servicePoints marks the points a Service injector arms; run-level
+// injectors (New) ignore them and vice versa, so one plan can carry
+// both layers' rules.
+var servicePoints = map[Point]bool{
+	PointStoreWrite:  true,
+	PointStoreSync:   true,
+	PointHTTP:        true,
+	PointEventStream: true,
 }
 
 // Rule arms one injection point. A rule observes the point's
@@ -87,7 +134,9 @@ type Rule struct {
 	Kind  Kind  `json:"kind"`
 
 	// Unit filters unit-request/resize rules to one CU ("L1D",
-	// "L2", "IQ"); empty matches every unit.
+	// "L2", "IQ"); empty matches every unit. Service rules reuse it
+	// as the operation filter: the store op ("result", "journal")
+	// for store points, the route ("POST /v1/jobs") for http.
 	Unit string `json:"unit,omitempty"`
 	// Bench and Scheme filter the rule to one benchmark and/or
 	// scheme; empty matches all.
@@ -101,6 +150,9 @@ type Rule struct {
 
 	// StallCycles is the extra drain charged by a stall rule.
 	StallCycles uint64 `json:"stall_cycles,omitempty"`
+
+	// DelayMS is the handler delay charged by an http latency rule.
+	DelayMS uint64 `json:"delay_ms,omitempty"`
 
 	// Transient marks faults the suite may retry once (a run failed
 	// by a transient fault is re-executed; persistent faults fail
@@ -132,6 +184,9 @@ func (r Rule) Validate() error {
 	}
 	if r.Kind == KindStall && r.StallCycles == 0 {
 		return fmt.Errorf("fault: stall rule needs stall_cycles")
+	}
+	if r.Kind == KindLatency && r.DelayMS == 0 {
+		return fmt.Errorf("fault: latency rule needs delay_ms")
 	}
 	return nil
 }
@@ -257,6 +312,11 @@ func New(p *Plan, bench, scheme string) (*Injector, error) {
 		rng:     rand.New(rand.NewSource(p.Seed ^ int64(h.Sum64()))),
 	}
 	for _, r := range p.Rules {
+		if servicePoints[r.Point] {
+			// Service rules arm only through NewService; a run-level
+			// injector built from a mixed plan ignores them.
+			continue
+		}
 		if r.Bench != "" && r.Bench != bench {
 			continue
 		}

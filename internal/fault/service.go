@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// StoreFault is the verdict at a store-write injection point.
+type StoreFault int
+
+const (
+	// StoreOK lets the write through untouched.
+	StoreOK StoreFault = iota
+	// StoreErr fails the write with an injected error.
+	StoreErr
+	// StoreTorn truncates the write mid-payload: only a strict
+	// prefix of the bytes reaches the disk, as a crash between
+	// write and fsync would leave it.
+	StoreTorn
+)
+
+// Service is a Plan compiled for the daemon's service seams: durable
+// store writes and fsyncs, HTTP handlers, and event streams. Unlike
+// the run-level Injector it is shared across handler goroutines and
+// workers, so every method serialises on an internal mutex; a nil
+// *Service is the universal "no faults" value and costs one pointer
+// test, mirroring the nil *Injector fast path. Determinism holds per
+// seam sequence: the same plan and the same order of seam hits yield
+// the same fault sequence (HTTP request interleaving is the caller's
+// to pin in tests).
+type Service struct {
+	mu  sync.Mutex
+	inj *Injector
+}
+
+// NewService compiles the plan's service-point rules (store-write,
+// store-sync, http, event-stream); run-level points in the same plan
+// are ignored, so one plan file can carry both layers. A nil plan —
+// or a plan with no service rules — yields a nil *Service, keeping
+// the no-fault path byte-identical and branch-cheap.
+func NewService(p *Plan) (*Service, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		byPoint: make(map[Point][]*ruleState),
+		rng:     rand.New(rand.NewSource(p.Seed)),
+	}
+	armed := false
+	for _, r := range p.Rules {
+		if !servicePoints[r.Point] {
+			continue
+		}
+		inj.byPoint[r.Point] = append(inj.byPoint[r.Point], &ruleState{Rule: r})
+		armed = true
+	}
+	if !armed {
+		return nil, nil
+	}
+	return &Service{inj: inj}, nil
+}
+
+// ErrInjected is the error value injected store failures wrap; the
+// store's callers can errors.Is against it to tell injected faults
+// from real disk errors in tests.
+var ErrInjected = fmt.Errorf("fault: injected I/O error")
+
+// StoreWrite decides the fate of one durable-store write; op filters
+// rules by Unit ("result" for result files, "journal" for journal
+// appends).
+func (s *Service) StoreWrite(op string) StoreFault {
+	if s == nil {
+		return StoreOK
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inj.match(PointStoreWrite, op, KindError) != nil {
+		return StoreErr
+	}
+	if s.inj.match(PointStoreWrite, op, KindTorn) != nil {
+		return StoreTorn
+	}
+	return StoreOK
+}
+
+// StoreSync reports whether one fsync should fail; op filters like
+// StoreWrite.
+func (s *Service) StoreSync(op string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj.match(PointStoreSync, op, KindError) != nil
+}
+
+// TornLen picks the deterministic truncation point of a torn write:
+// a strict prefix length in [0, n).
+func (s *Service) TornLen(n int) int {
+	if s == nil || n <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj.rng.Intn(n)
+}
+
+// HTTP decides one request's fate before its handler runs: an
+// injected delay (0 = none) and whether to answer 500 instead of
+// dispatching. route filters rules by Unit (e.g. "POST /v1/jobs").
+func (s *Service) HTTP(route string) (delay time.Duration, fail bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rs := s.inj.match(PointHTTP, route, KindLatency); rs != nil {
+		delay = time.Duration(rs.DelayMS) * time.Millisecond
+	}
+	fail = s.inj.match(PointHTTP, route, KindFail) != nil
+	return delay, fail
+}
+
+// StreamDisconnect reports whether the current event-stream write
+// should drop the connection.
+func (s *Service) StreamDisconnect() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj.match(PointEventStream, "", KindDisconnect) != nil
+}
+
+// Fired returns the total fires of the given kind at a service point
+// — ground truth for "the fault actually happened" in chaos tests.
+func (s *Service) Fired(pt Point, kind Kind) uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj.Fired(pt, kind)
+}

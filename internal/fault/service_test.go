@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilServiceIsNoFault(t *testing.T) {
+	var s *Service
+	if got := s.StoreWrite("result"); got != StoreOK {
+		t.Fatalf("nil service StoreWrite = %v, want ok", got)
+	}
+	if s.StoreSync("journal") {
+		t.Fatal("nil service failed an fsync")
+	}
+	if d, fail := s.HTTP("POST /v1/jobs"); d != 0 || fail {
+		t.Fatalf("nil service HTTP = (%v, %v), want (0, false)", d, fail)
+	}
+	if s.StreamDisconnect() {
+		t.Fatal("nil service dropped a stream")
+	}
+	if s.TornLen(100) != 0 {
+		t.Fatal("nil service picked a torn length")
+	}
+	if s.Fired(PointStoreWrite, KindError) != 0 {
+		t.Fatal("nil service reported fires")
+	}
+}
+
+func TestNilPlanYieldsNilService(t *testing.T) {
+	s, err := NewService(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatal("nil plan produced a non-nil service injector")
+	}
+	// A plan with only run-level rules arms nothing at the service
+	// layer and also collapses to nil.
+	s, err = NewService(&Plan{Rules: []Rule{{Point: PointRun, Kind: KindPanic}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatal("run-level-only plan produced a non-nil service injector")
+	}
+}
+
+func TestServiceStoreFaults(t *testing.T) {
+	plan := &Plan{Rules: []Rule{
+		{Point: PointStoreWrite, Kind: KindError, Unit: "journal", Count: 1},
+		{Point: PointStoreWrite, Kind: KindTorn, Unit: "result", Count: 1},
+		{Point: PointStoreSync, Kind: KindError, After: 1, Count: 1},
+	}}
+	s, err := NewService(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StoreWrite("journal"); got != StoreErr {
+		t.Fatalf("first journal write = %v, want error", got)
+	}
+	if got := s.StoreWrite("journal"); got != StoreOK {
+		t.Fatalf("second journal write = %v, want ok (count exhausted)", got)
+	}
+	if got := s.StoreWrite("result"); got != StoreTorn {
+		t.Fatalf("first result write = %v, want torn", got)
+	}
+	if got := s.StoreWrite("result"); got != StoreOK {
+		t.Fatalf("second result write = %v, want ok", got)
+	}
+	if s.StoreSync("result") {
+		t.Fatal("first sync failed (rule starts after 1)")
+	}
+	if !s.StoreSync("result") {
+		t.Fatal("second sync passed, want injected failure")
+	}
+	if n := s.Fired(PointStoreWrite, KindTorn); n != 1 {
+		t.Fatalf("torn fires = %d, want 1", n)
+	}
+	for i := 0; i < 32; i++ {
+		if n := s.TornLen(100); n < 0 || n >= 100 {
+			t.Fatalf("TornLen(100) = %d, want strict prefix in [0,100)", n)
+		}
+	}
+}
+
+func TestServiceHTTPFaults(t *testing.T) {
+	plan := &Plan{Rules: []Rule{
+		{Point: PointHTTP, Kind: KindLatency, Unit: "GET /metrics", DelayMS: 25, Count: 1},
+		{Point: PointHTTP, Kind: KindFail, Unit: "POST /v1/jobs", Count: 2},
+		{Point: PointEventStream, Kind: KindDisconnect, After: 1, Count: 1},
+	}}
+	s, err := NewService(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, fail := s.HTTP("GET /metrics"); d != 25*time.Millisecond || fail {
+		t.Fatalf("GET /metrics = (%v, %v), want (25ms, false)", d, fail)
+	}
+	if d, fail := s.HTTP("GET /metrics"); d != 0 || fail {
+		t.Fatalf("second GET /metrics = (%v, %v), want no fault", d, fail)
+	}
+	for i := 0; i < 2; i++ {
+		if _, fail := s.HTTP("POST /v1/jobs"); !fail {
+			t.Fatalf("submit %d not failed, want injected 500", i)
+		}
+	}
+	if _, fail := s.HTTP("POST /v1/jobs"); fail {
+		t.Fatal("third submit failed past the rule count")
+	}
+	if _, fail := s.HTTP("GET /healthz"); fail {
+		t.Fatal("unfiltered route hit a filtered rule")
+	}
+	if s.StreamDisconnect() {
+		t.Fatal("first stream write dropped (rule starts after 1)")
+	}
+	if !s.StreamDisconnect() {
+		t.Fatal("second stream write kept, want disconnect")
+	}
+	if s.StreamDisconnect() {
+		t.Fatal("third stream write dropped past the rule count")
+	}
+}
+
+func TestServiceRuleValidation(t *testing.T) {
+	if _, err := NewService(&Plan{Rules: []Rule{
+		{Point: PointHTTP, Kind: KindLatency},
+	}}); err == nil {
+		t.Fatal("latency rule without delay_ms accepted")
+	}
+	if _, err := NewService(&Plan{Rules: []Rule{
+		{Point: PointStoreWrite, Kind: KindDisconnect},
+	}}); err == nil {
+		t.Fatal("disconnect kind accepted at store-write point")
+	}
+}
+
+// TestRunInjectorIgnoresServiceRules pins the layer split: a mixed
+// plan arms its run-level rules in New and its service rules in
+// NewService, with no crosstalk.
+func TestRunInjectorIgnoresServiceRules(t *testing.T) {
+	plan := &Plan{Rules: []Rule{
+		{Point: PointUnitRequest, Kind: KindReject},
+		{Point: PointHTTP, Kind: KindFail},
+	}}
+	j, err := New(plan, "b", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.byPoint[PointHTTP]) != 0 {
+		t.Fatal("run injector armed a service point")
+	}
+	if got := j.UnitRequest("L1D"); got != OutcomeReject {
+		t.Fatalf("run rule lost in a mixed plan: %v", got)
+	}
+	s, err := NewService(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, fail := s.HTTP("anything"); !fail {
+		t.Fatal("service rule lost in a mixed plan")
+	}
+	if s.StoreWrite("result") != StoreOK {
+		t.Fatal("service injector armed a point with no rules")
+	}
+}

@@ -2,20 +2,33 @@ package server
 
 import "sync"
 
-// resultCache is the content-addressed result store: finished job
-// results keyed by SpecHash. Entries are immutable once stored, so a
-// hit returns the exact bytes the first execution produced —
-// byte-identical responses for byte-identical work. Retention is
-// first-come within a byte budget (no eviction), mirroring the
-// process-wide rtrace cache: what was cached stays cached, keeping
-// repeated submissions deterministic for the daemon's lifetime.
+// resultCache is the in-memory tier of the content-addressed result
+// store: finished job results keyed by SpecHash. Entries are
+// immutable once stored, so a hit returns the exact bytes the first
+// execution produced — byte-identical responses for byte-identical
+// work.
+//
+// Retention has two modes, chosen by whether a disk tier backs the
+// cache:
+//
+//   - Memory-only (no -data-dir): first-come within the byte budget,
+//     no eviction — what was cached stays cached, keeping repeated
+//     submissions deterministic for the daemon's lifetime.
+//   - Disk-backed: the memory tier is a true LRU. Every entry also
+//     lives in the durable store, so evicting from memory loses no
+//     determinism — an evicted hash re-loads from disk with the same
+//     bytes — and the budget bounds resident memory under pressure.
 type resultCache struct {
 	mu      sync.Mutex
 	budget  int64
 	size    int64
 	entries map[string]*cacheEntry
+	// evict enables LRU eviction (set iff a disk tier backs the
+	// cache); order tracks recency, least recent first.
+	evict bool
+	order []string
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 // cacheEntry is one cached result: the serialized result document and
@@ -25,22 +38,38 @@ type cacheEntry struct {
 	runs   []RunMeta
 }
 
-// newResultCache returns an empty cache bounded to budget bytes.
-func newResultCache(budget int64) *resultCache {
-	return &resultCache{budget: budget, entries: make(map[string]*cacheEntry)}
+// newResultCache returns an empty cache bounded to budget bytes;
+// evict selects the disk-backed LRU mode.
+func newResultCache(budget int64, evict bool) *resultCache {
+	return &resultCache{budget: budget, evict: evict, entries: make(map[string]*cacheEntry)}
 }
 
-// get returns the entry for hash, counting the hit or miss.
+// get returns the entry for hash, counting the hit or miss and, in
+// LRU mode, refreshing the entry's recency.
 func (c *resultCache) get(hash string) *cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.entries[hash]
 	if e != nil {
 		c.hits++
+		c.touch(hash)
 	} else {
 		c.misses++
 	}
 	return e
+}
+
+// touch moves hash to the most-recent end of the LRU order.
+func (c *resultCache) touch(hash string) {
+	if !c.evict {
+		return
+	}
+	for i, h := range c.order {
+		if h == hash {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), hash)
+			return
+		}
+	}
 }
 
 // runMetaBytes approximates one retained RunMeta's memory cost: the
@@ -61,9 +90,11 @@ func entrySize(e *cacheEntry) int64 {
 	return n
 }
 
-// put stores a finished result unless the hash is already present or
-// the entry's full footprint (result bytes plus run metadata) would
-// exceed the budget.
+// put stores a finished result unless the hash is already present.
+// Memory-only mode refuses entries that would exceed the budget
+// (first-come retention); LRU mode instead evicts least-recently-used
+// entries until the new one fits, and only refuses entries larger
+// than the whole budget.
 func (c *resultCache) put(hash string, e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -71,16 +102,34 @@ func (c *resultCache) put(hash string, e *cacheEntry) {
 		return
 	}
 	n := entrySize(e)
-	if c.size+n > c.budget {
+	if !c.evict {
+		if c.size+n > c.budget {
+			return
+		}
+		c.entries[hash] = e
+		c.size += n
 		return
+	}
+	if n > c.budget {
+		return // never resident; the disk tier still serves it
+	}
+	for c.size+n > c.budget && len(c.order) > 0 {
+		old := c.order[0]
+		c.order = c.order[1:]
+		if oe, ok := c.entries[old]; ok {
+			c.size -= entrySize(oe)
+			delete(c.entries, old)
+			c.evictions++
+		}
 	}
 	c.entries[hash] = e
 	c.size += n
+	c.order = append(c.order, hash)
 }
 
 // stats returns the cache's counters for /metrics.
-func (c *resultCache) stats() (hits, misses uint64, entries int, bytes int64) {
+func (c *resultCache) stats() (hits, misses, evictions uint64, entries int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.entries), c.size
+	return c.hits, c.misses, c.evictions, len(c.entries), c.size
 }

@@ -1,0 +1,470 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"acedo/internal/fault"
+)
+
+// crashServer boots a durable Server that the test will "kill": its
+// cleanup only closes the listener, never calls Shutdown, so the
+// journal keeps its unsynced tail and no drain-time tidying happens —
+// the closest an in-process test gets to kill -9.
+func crashServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// findJobByHash scans /v1/jobs for the job carrying hash.
+func findJobByHash(t *testing.T, base, hash string) JobStatus {
+	t.Helper()
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	getJSON(t, base, "/v1/jobs", &list)
+	for _, st := range list.Jobs {
+		if st.SpecHash == hash {
+			return st
+		}
+	}
+	t.Fatalf("no job with spec hash %s among %d jobs", hash, len(list.Jobs))
+	return JobStatus{}
+}
+
+// TestCrashRestartServesDurableResults kills a durable daemon after a
+// job finishes and restarts it on the same data dir: the resubmitted
+// spec must be a cache hit served from the recovered store —
+// byte-identical bytes, nothing executed (instr_simulated stays 0 on
+// the new process), and the healthz/metrics surfaces must report the
+// recovery.
+func TestCrashRestartServesDurableResults(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"benchmarks":["compress"],"scale":40,"run_meta":true}`
+
+	_, tsA := crashServer(t, Config{Workers: 2, DataDir: dir})
+	code, _, body := postJob(t, tsA.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	mustDecode(t, body, &st)
+	done := waitState(t, tsA.URL, st.ID, StateDone)
+	_, want := getBody(t, tsA.URL, "/v1/jobs/"+st.ID+"/result")
+	tsA.Close() // crash: no Shutdown, no journal close
+
+	sB, tsB := testServer(t, Config{Workers: 2, DataDir: dir})
+	defer func() { _ = sB }()
+
+	var health struct {
+		Status string `json:"status"`
+		Store  struct {
+			Recovered   int `json:"recovered"`
+			Quarantined int `json:"quarantined"`
+		} `json:"store"`
+	}
+	if code := getJSON(t, tsB.URL, "/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if health.Store.Recovered < 1 || health.Store.Quarantined != 0 {
+		t.Errorf("healthz store report = %+v, want >=1 recovered, 0 quarantined", health.Store)
+	}
+
+	code, _, body = postJob(t, tsB.URL, spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit after restart: status %d, want 200 (cache hit)\n%s", code, body)
+	}
+	var hit JobStatus
+	mustDecode(t, body, &hit)
+	if !hit.Cached || hit.State != StateDone {
+		t.Errorf("resubmission not a cache hit: cached=%v state=%q", hit.Cached, hit.State)
+	}
+	if hit.SpecHash != done.SpecHash {
+		t.Errorf("hash changed across restart: %s vs %s", hit.SpecHash, done.SpecHash)
+	}
+	if len(hit.Runs) != len(done.Runs) {
+		t.Errorf("recovered runs = %d, want %d (metadata survived the disk round trip)",
+			len(hit.Runs), len(done.Runs))
+	}
+	_, got := getBody(t, tsB.URL, "/v1/jobs/"+hit.ID+"/result")
+	if !bytes.Equal(got, want) {
+		t.Errorf("recovered result not byte-identical:\nbefore crash: %s\nafter:        %s", want, got)
+	}
+
+	var m Metrics
+	getJSON(t, tsB.URL, "/metrics", &m)
+	if m.InstrSimulated != 0 {
+		t.Errorf("restarted daemon simulated %d instructions; the recovered result should have executed nothing", m.InstrSimulated)
+	}
+	if m.StoreEntries < 1 || m.StoreBytes <= 0 || m.StoreHits != 1 {
+		t.Errorf("store gauges entries=%d bytes=%d hits=%d, want >=1/>0/1",
+			m.StoreEntries, m.StoreBytes, m.StoreHits)
+	}
+}
+
+// TestCrashMidJobRequeuesFromJournal kills the daemon while a job is
+// executing (accepted and journaled, never finished) and restarts it:
+// the journal replay must requeue the job, the new process must run it
+// to completion, and a subsequent identical submission must hit the
+// cache.
+func TestCrashMidJobRequeuesFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	spec := fmt.Sprintf(`{"benchmarks":["compress"],"max_instr":%d}`, 5000)
+
+	sA, tsA := crashServer(t, Config{Workers: 1, DataDir: dir})
+	stubRun(sA, nil) // the job runs "forever": the crash interrupts it
+	code, _, body := postJob(t, tsA.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	mustDecode(t, body, &st)
+	waitState(t, tsA.URL, st.ID, StateRunning)
+	tsA.Close() // crash mid-run; the journal holds accept, no done
+
+	_, tsB := testServer(t, Config{Workers: 1, DataDir: dir})
+	replayed := findJobByHash(t, tsB.URL, st.SpecHash)
+	final := waitState(t, tsB.URL, replayed.ID, "")
+	if final.State != StateDone {
+		t.Fatalf("replayed job %s: %s", final.State, final.Error)
+	}
+
+	var m Metrics
+	getJSON(t, tsB.URL, "/metrics", &m)
+	if m.JournalReplayed != 1 {
+		t.Errorf("journal_replayed = %d, want 1", m.JournalReplayed)
+	}
+
+	code, _, body = postJob(t, tsB.URL, spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit of replayed spec: status %d, want 200 (cache hit)\n%s", code, body)
+	}
+	var hit JobStatus
+	mustDecode(t, body, &hit)
+	if !hit.Cached {
+		t.Errorf("replayed job's result not served from cache")
+	}
+}
+
+// TestCrashRestartRetiresFinishedJournalEntry covers the lost-done
+// window: the job finished and persisted, but the crash ate the
+// journal's done record. The restart must not re-execute — replay
+// finds the durable result and retires the entry.
+func TestCrashRestartRetiresFinishedJournalEntry(t *testing.T) {
+	dir := t.TempDir()
+	spec := fmt.Sprintf(`{"benchmarks":["compress"],"max_instr":%d}`, 6000)
+
+	sA, tsA := crashServer(t, Config{Workers: 1, DataDir: dir})
+	code, _, body := postJob(t, tsA.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	mustDecode(t, body, &st)
+	waitState(t, tsA.URL, st.ID, StateDone)
+	// Re-accept the finished job, leaving the journal's last word on
+	// this hash "accepted" — exactly what a crash between store.Put and
+	// the done append leaves behind.
+	specJSON, err := json.Marshal(st.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sA.journal.Accept(st.SpecHash, specJSON); err != nil {
+		t.Fatalf("re-accept: %v", err)
+	}
+	tsA.Close()
+
+	_, tsB := testServer(t, Config{Workers: 1, DataDir: dir})
+	var m Metrics
+	getJSON(t, tsB.URL, "/metrics", &m)
+	if m.JournalReplayed != 0 {
+		t.Errorf("journal_replayed = %d, want 0 (result already durable)", m.JournalReplayed)
+	}
+	if m.InstrSimulated != 0 {
+		t.Errorf("restart re-executed a finished job (%d instructions)", m.InstrSimulated)
+	}
+	code, _, body = postJob(t, tsB.URL, spec)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want 200 (cache hit)\n%s", code, body)
+	}
+}
+
+// TestTornResultQuarantinedOnRestart runs a daemon under a fault plan
+// that tears the result's store write — the crash window the atomic
+// rename protocol exists to mask — and restarts clean: the torn file
+// must be quarantined by the startup scan, the resubmitted spec must
+// re-execute (no serving torn bytes), and the rewritten result must
+// then hit.
+func TestTornResultQuarantinedOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := fmt.Sprintf(`{"benchmarks":["compress"],"max_instr":%d}`, 7000)
+	plan := &fault.Plan{
+		Seed: 7,
+		Rules: []fault.Rule{
+			{Point: fault.PointStoreWrite, Kind: fault.KindTorn, Unit: "result", Count: 1},
+		},
+	}
+
+	_, tsA := crashServer(t, Config{Workers: 1, DataDir: dir, ServiceFaults: plan})
+	code, _, body := postJob(t, tsA.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	mustDecode(t, body, &st)
+	waitState(t, tsA.URL, st.ID, StateDone)
+	tsA.Close()
+
+	_, tsB := testServer(t, Config{Workers: 1, DataDir: dir})
+	var health struct {
+		Store struct {
+			Recovered   int `json:"recovered"`
+			Quarantined int `json:"quarantined"`
+		} `json:"store"`
+	}
+	getJSON(t, tsB.URL, "/healthz", &health)
+	if health.Store.Quarantined < 1 {
+		t.Fatalf("healthz store report = %+v, want >=1 quarantined (the torn write)", health.Store)
+	}
+
+	// The torn entry must read as a miss: the spec re-executes...
+	code, _, body = postJob(t, tsB.URL, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit of torn result: status %d, want 202 (re-execute)\n%s", code, body)
+	}
+	var redo JobStatus
+	mustDecode(t, body, &redo)
+	final := waitState(t, tsB.URL, redo.ID, "")
+	if final.State != StateDone {
+		t.Fatalf("re-executed job %s: %s", final.State, final.Error)
+	}
+	// ...and the clean rewrite serves the next submission.
+	if code, _, body := postJob(t, tsB.URL, spec); code != http.StatusOK {
+		t.Fatalf("third submit: status %d, want 200 (cache hit)\n%s", code, body)
+	}
+}
+
+// TestEvictedEntryServedFromDisk is the disk-tier eviction contract:
+// with a memory budget that holds only one stub result, the second job
+// must evict the first from memory, and resubmitting the first must
+// still answer as a cache hit — byte-identical — via the durable
+// store, with the eviction and store-hit counters moving.
+func TestEvictedEntryServedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := testServer(t, Config{Workers: 1, DataDir: dir, CacheBytes: 4 << 10})
+	// Stub results ~3 KiB each: one fits the 4 KiB budget, two do not.
+	s.runFn = func(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
+		line := fmt.Sprintf(`{"max_instr":%d}`, spec.MaxInstr)
+		return bytes.Repeat([]byte(line+"\n"), 3<<10/len(line)), nil, nil
+	}
+
+	specN := func(n int) string {
+		return fmt.Sprintf(`{"benchmarks":["compress"],"max_instr":%d}`, 100000+n)
+	}
+	run := func(spec string) (JobStatus, []byte) {
+		t.Helper()
+		code, _, body := postJob(t, ts.URL, spec)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit: status %d\n%s", code, body)
+		}
+		var st JobStatus
+		mustDecode(t, body, &st)
+		st = waitState(t, ts.URL, st.ID, "")
+		if st.State != StateDone {
+			t.Fatalf("job %s: %s", st.State, st.Error)
+		}
+		_, res := getBody(t, ts.URL, "/v1/jobs/"+st.ID+"/result")
+		return st, res
+	}
+
+	_, res1 := run(specN(1))
+	_, res2 := run(specN(2)) // evicts job 1 from memory
+
+	var m Metrics
+	getJSON(t, ts.URL, "/metrics", &m)
+	if m.CacheEvictions < 1 {
+		t.Fatalf("cache_evictions = %d, want >=1 (budget holds one entry)", m.CacheEvictions)
+	}
+
+	// Resubmitting job 1 must hit via the disk tier, byte-identically.
+	code, _, body := postJob(t, ts.URL, specN(1))
+	if code != http.StatusOK {
+		t.Fatalf("resubmit of evicted entry: status %d, want 200 (disk hit)\n%s", code, body)
+	}
+	var hit JobStatus
+	mustDecode(t, body, &hit)
+	if !hit.Cached {
+		t.Errorf("evicted entry did not report cached")
+	}
+	_, got := getBody(t, ts.URL, "/v1/jobs/"+hit.ID+"/result")
+	if !bytes.Equal(got, res1) {
+		t.Errorf("disk-tier result differs from the original execution")
+	}
+	if bytes.Equal(got, res2) {
+		t.Errorf("disk tier served the wrong entry")
+	}
+	getJSON(t, ts.URL, "/metrics", &m)
+	if m.StoreHits < 1 {
+		t.Errorf("store_hits = %d, want >=1 (the memory miss fell through to disk)", m.StoreHits)
+	}
+}
+
+// TestCacheLRUOrder pins the memory tier's eviction order in
+// disk-backed mode: a get refreshes recency, so the least recently
+// used entry — not the oldest — is evicted when the budget forces it.
+func TestCacheLRUOrder(t *testing.T) {
+	entry := func() *cacheEntry { return &cacheEntry{result: bytes.Repeat([]byte("x"), 100)} }
+	c := newResultCache(2*entrySize(entry()), true)
+	c.put("a", entry())
+	c.put("b", entry())
+	if c.get("a") == nil { // refresh a: b becomes LRU
+		t.Fatal("entry a missing before eviction")
+	}
+	c.put("c", entry())
+	if c.get("b") != nil {
+		t.Errorf("b survived; LRU order ignored the refresh of a")
+	}
+	if c.get("a") == nil || c.get("c") == nil {
+		t.Errorf("a/c evicted; want b out, a and c resident")
+	}
+	_, _, evictions, entries, size := c.stats()
+	if evictions != 1 || entries != 2 {
+		t.Errorf("evictions=%d entries=%d, want 1 and 2", evictions, entries)
+	}
+	if want := 2 * entrySize(entry()); size != want {
+		t.Errorf("size=%d, want %d (budget accounting after eviction)", size, want)
+	}
+}
+
+// TestEventStreamOffsetResume checks the /events?offset seam: a client
+// that read part of the stream re-requests with its byte offset and
+// receives exactly the remainder, and an over-large offset degrades to
+// the tail instead of erroring.
+func TestEventStreamOffsetResume(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1})
+	stubEvents(s, "{\"ev\":1}\n{\"ev\":2}\n{\"ev\":3}\n")
+
+	code, _, body := postJob(t, ts.URL, uniqueSpec(40))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	mustDecode(t, body, &st)
+	waitState(t, ts.URL, st.ID, StateDone)
+
+	_, full := getBody(t, ts.URL, "/v1/jobs/"+st.ID+"/events?follow=0")
+	if len(full) == 0 {
+		t.Fatal("stub emitted no event bytes")
+	}
+	half := len(full) / 2
+	_, rest := getBody(t, ts.URL, fmt.Sprintf("/v1/jobs/%s/events?follow=0&offset=%d", st.ID, half))
+	if !bytes.Equal(rest, full[half:]) {
+		t.Errorf("offset resume mismatch: got %q want %q", rest, full[half:])
+	}
+	code, _ = getBody(t, ts.URL, "/v1/jobs/"+st.ID+"/events?follow=0&offset=1000000")
+	if code != http.StatusOK {
+		t.Errorf("oversized offset: status %d, want 200 with empty tail", code)
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/jobs/"+st.ID+"/events?offset=-1"); code != http.StatusBadRequest {
+		t.Errorf("negative offset: status %d, want 400", code)
+	}
+}
+
+// mustDecode unmarshals JSON or fails the test.
+func mustDecode(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("decode %s: %v", b, err)
+	}
+}
+
+// stubEvents replaces the run function with one that appends raw
+// JSONL bytes to the job's event log and finishes immediately.
+func stubEvents(s *Server, lines string) {
+	s.runFn = func(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
+		sink.mu.Lock()
+		sink.buf = append(sink.buf, lines...)
+		sink.cond.Broadcast()
+		sink.mu.Unlock()
+		return []byte("{}\n"), nil, nil
+	}
+}
+
+// TestInjectedHTTPFaults arms an HTTP-seam fault plan and checks the
+// middleware: the targeted route answers an injected 500 exactly as
+// planned, other routes are untouched, and a latency rule delays
+// rather than fails.
+func TestInjectedHTTPFaults(t *testing.T) {
+	plan := &fault.Plan{
+		Seed: 11,
+		Rules: []fault.Rule{
+			{Point: fault.PointHTTP, Kind: fault.KindFail, Unit: "GET /metrics", Count: 1},
+			{Point: fault.PointHTTP, Kind: fault.KindLatency, Unit: "GET /healthz", DelayMS: 30, Count: 1},
+		},
+	}
+	_, ts := testServer(t, Config{Workers: 1, ServiceFaults: plan})
+
+	code, body := getBody(t, ts.URL, "/metrics")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("first /metrics: status %d, want injected 500\n%s", code, body)
+	}
+	if code, _ := getBody(t, ts.URL, "/metrics"); code != http.StatusOK {
+		t.Errorf("second /metrics: status %d, want 200 (Count:1 exhausted)", code)
+	}
+	start := time.Now()
+	if code, _ := getBody(t, ts.URL, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz under latency rule: status %d", code)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("healthz answered in %v, want >=30ms injected latency", d)
+	}
+	if code, _ := getBody(t, ts.URL, "/v1/jobs"); code != http.StatusOK {
+		t.Errorf("untargeted route affected by the plan")
+	}
+}
+
+// TestInjectedStreamDisconnect arms the event-stream seam: the
+// follower's connection must drop mid-stream, and a reconnect with the
+// delivered offset must pick up the remainder.
+func TestInjectedStreamDisconnect(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:  13,
+		Rules: []fault.Rule{{Point: fault.PointEventStream, Kind: fault.KindDisconnect, Count: 1}},
+	}
+	s, ts := testServer(t, Config{Workers: 1, ServiceFaults: plan})
+	stubEvents(s, "{\"ev\":1}\n{\"ev\":2}\n")
+	code, _, body := postJob(t, ts.URL, uniqueSpec(50))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	mustDecode(t, body, &st)
+	waitState(t, ts.URL, st.ID, StateDone)
+
+	// First read: the armed disconnect kills the connection.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events?follow=0")
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatalf("stream survived an armed disconnect rule")
+	}
+	// Second read (rule exhausted): full stream.
+	_, full := getBody(t, ts.URL, "/v1/jobs/"+st.ID+"/events?follow=0")
+	if want := "{\"ev\":1}\n{\"ev\":2}\n"; string(full) != want {
+		t.Errorf("post-disconnect read = %q, want %q", full, want)
+	}
+}

@@ -62,6 +62,18 @@ func (l *eventLog) close() {
 	l.mu.Unlock()
 }
 
+// clamp bounds a client-supplied resume offset to the bytes actually
+// buffered, so a stale or over-eager offset degrades to "from the end"
+// rather than indexing past the log.
+func (l *eventLog) clamp(offset int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset > len(l.buf) {
+		return len(l.buf)
+	}
+	return offset
+}
+
 // next returns the bytes appended since offset (nil when none yet) and
 // whether the log is closed. It blocks until there is something new,
 // the log closes, or ctx is done; the returned slice aliases the log's

@@ -55,6 +55,19 @@ type Metrics struct {
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheBytes   int64  `json:"cache_bytes"`
+	// CacheEvictions counts memory-tier evictions; always 0 without a
+	// data dir, where the cache never evicts.
+	CacheEvictions uint64 `json:"cache_evictions"`
+
+	// StoreEntries/StoreBytes gauge the durable result store's indexed
+	// entries and their on-disk footprint; StoreHits counts lookups the
+	// memory tier missed but the disk tier answered; JournalReplayed
+	// counts jobs this boot requeued from the journal. All stay 0 (and
+	// the store gauges absent) without a data dir.
+	StoreEntries    int    `json:"store_entries,omitempty"`
+	StoreBytes      int64  `json:"store_bytes,omitempty"`
+	StoreHits       uint64 `json:"store_hits,omitempty"`
+	JournalReplayed uint64 `json:"journal_replayed,omitempty"`
 
 	// InstrSimulated totals the retired instructions of every executed
 	// run (cache hits add nothing — the cache-determinism tests key on
@@ -91,6 +104,7 @@ type metrics struct {
 	canceled  uint64
 	cached    uint64
 	instr     uint64
+	storeHits uint64
 
 	benchWall    map[string]*Histogram
 	optimizeBest map[string]*OptimizeStatus
@@ -112,6 +126,13 @@ func newMetrics() *metrics {
 func (m *metrics) workerBusy(delta int) {
 	m.mu.Lock()
 	m.busy += delta
+	m.mu.Unlock()
+}
+
+// storeHit counts one lookup served by the disk tier.
+func (m *metrics) storeHit() {
+	m.mu.Lock()
+	m.storeHits++
 	m.mu.Unlock()
 }
 
@@ -208,6 +229,7 @@ func (m *metrics) snapshot() Metrics {
 		JobsFailed:     m.failed,
 		JobsCanceled:   m.canceled,
 		JobsCached:     m.cached,
+		StoreHits:      m.storeHits,
 		InstrSimulated: m.instr,
 		BenchWallMS:    make(map[string]*Histogram, len(m.benchWall)),
 	}

@@ -209,16 +209,16 @@ func TestCacheBudgetCountsRunMeta(t *testing.T) {
 			len(heavy.result), len(runs), got)
 	}
 
-	c := newResultCache(16 << 10)
+	c := newResultCache(16<<10, false)
 	c.put("heavy", heavy)
-	if _, _, entries, size := c.stats(); entries != 0 || size != 0 {
+	if _, _, _, entries, size := c.stats(); entries != 0 || size != 0 {
 		t.Errorf("over-budget entry admitted: entries=%d size=%d", entries, size)
 	}
 
 	// An entry that fits charges its full footprint.
 	light := &cacheEntry{result: []byte("{}"), runs: runs[:10]}
 	c.put("light", light)
-	if _, _, entries, size := c.stats(); entries != 1 || size != entrySize(light) {
+	if _, _, _, entries, size := c.stats(); entries != 1 || size != entrySize(light) {
 		t.Errorf("stats after put: entries=%d size=%d, want 1 entry of %d bytes",
 			entries, size, entrySize(light))
 	}

@@ -34,12 +34,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
 	"acedo/internal/experiment"
+	"acedo/internal/fault"
+	"acedo/internal/server/store"
 )
 
 // Version is the daemon's protocol version, part of the result cache's
@@ -79,6 +82,18 @@ type Config struct {
 	// MaxJobs bounds retained job records (0 = 1024); the oldest
 	// finished jobs are evicted first.
 	MaxJobs int
+	// DataDir, when non-empty, makes the daemon crash-safe: finished
+	// results persist to a disk-backed content-addressed store under
+	// DataDir/results (write-through behind the in-memory cache, which
+	// flips to LRU eviction), and accepted jobs are journaled to
+	// DataDir/journal before they are acknowledged, so a restart
+	// recovers cached results and requeues unfinished submissions.
+	DataDir string
+	// ServiceFaults, when non-nil, arms a deterministic service-level
+	// fault plan (internal/fault): injected store write/fsync errors,
+	// torn writes, HTTP handler latency and 500s, and event-stream
+	// disconnects. A nil plan injects nothing and costs nothing.
+	ServiceFaults *fault.Plan
 	// Log, when non-nil, receives one line per job state change.
 	Log io.Writer
 }
@@ -180,6 +195,14 @@ type Server struct {
 	cache   *resultCache
 	metrics *metrics
 
+	// Durability layer: nil without Config.DataDir. journalReplayed
+	// is written once during recovery, before any handler goroutine
+	// exists.
+	store           *store.Store
+	journal         *store.Journal
+	svcFaults       *fault.Service
+	journalReplayed uint64
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for eviction
@@ -192,35 +215,138 @@ type Server struct {
 	runFn func(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error)
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, recovers any durable state under
+// Config.DataDir (valid stored results re-index, journaled-but-
+// unfinished jobs requeue), and starts the worker pool. It fails only
+// on an invalid service-fault plan or an unusable data directory.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	svc, err := fault.NewService(cfg.ServiceFaults)
+	if err != nil {
+		return nil, fmt.Errorf("server: service fault plan: %w", err)
+	}
+	var (
+		st      *store.Store
+		journal *store.Journal
+		pending []store.Pending
+	)
+	if cfg.DataDir != "" {
+		st, err = store.Open(filepath.Join(cfg.DataDir, "results"), engineVersion(), svc)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		journal, pending, err = store.OpenJournal(filepath.Join(cfg.DataDir, "journal"), svc)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		queue:   make(chan *job, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheBytes),
-		metrics: newMetrics(),
-		jobs:    make(map[string]*job),
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		// Recovered jobs ride extra queue capacity so a journal
+		// longer than the configured depth still replays in full;
+		// the submit path enforces QueueDepth itself.
+		queue:     make(chan *job, cfg.QueueDepth+len(pending)),
+		cache:     newResultCache(cfg.CacheBytes, st != nil),
+		metrics:   newMetrics(),
+		store:     st,
+		journal:   journal,
+		svcFaults: svc,
+		jobs:      make(map[string]*job),
 	}
 	s.runFn = s.runJob
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if st != nil {
+		rep := st.Scan()
+		s.logf("store: %d results recovered, %d quarantined, %d stale (%s)",
+			rep.Recovered, rep.Quarantined, rep.Stale, st.Dir())
+	}
+	for _, p := range pending {
+		s.recoverJob(p)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// ServeHTTP dispatches to the daemon's routes (http.Handler).
+// recoverJob requeues one journaled-but-unfinished submission during
+// boot, before the worker pool starts. Jobs whose result already sits
+// in the durable store (the crash ate only the journal's done record)
+// are retired without re-executing; jobs whose spec no longer
+// normalises or hashes identically (the engine moved on underneath
+// them) are retired too, because the result the submitter was
+// promised can no longer be reproduced under that content address.
+func (s *Server) recoverJob(p store.Pending) {
+	retire := func(reason string) {
+		if err := s.journal.Done(p.Hash); err != nil {
+			s.logf("journal: retire %s: %v", shortHash(p.Hash), err)
+		}
+		if reason != "" {
+			s.logf("journal: dropped %s: %s", shortHash(p.Hash), reason)
+		}
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(p.Spec, &spec); err != nil {
+		retire(fmt.Sprintf("unreadable spec: %v", err))
+		return
+	}
+	spec, err := spec.Normalize()
+	if err != nil {
+		retire(fmt.Sprintf("invalid spec: %v", err))
+		return
+	}
+	hash, err := SpecHash(spec)
+	if err != nil || hash != p.Hash {
+		retire("spec no longer matches its journaled content address")
+		return
+	}
+	if _, ok, err := s.store.Get(hash); err == nil && ok {
+		retire("") // finished before the crash; result is durable
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:     fmt.Sprintf("j%d", s.seq),
+		spec:   spec,
+		hash:   hash,
+		events: newEventLog(s.cfg.EventLogBytes),
+		cancel: make(chan struct{}),
+		state:  StateQueued,
+	}
+	s.register(j)
+	s.mu.Unlock()
+	s.queue <- j
+	s.journalReplayed++
+	s.metrics.jobSubmitted(false)
+	s.logf("job %s: requeued from journal (%s)", j.id, shortHash(hash))
+}
+
+// ServeHTTP dispatches to the daemon's routes (http.Handler), through
+// the service fault seam: an armed plan can delay a request or answer
+// it with an injected 500 before the handler runs. Rules filter on
+// "METHOD /path" via their Unit field; with no plan armed this is a
+// single nil test.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.svcFaults != nil {
+		delay, fail := s.svcFaults.HTTP(r.Method + " " + r.URL.Path)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if fail {
+			writeError(w, http.StatusInternalServerError, "injected service fault")
+			return
+		}
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -243,6 +369,11 @@ func (s *Server) Shutdown(done <-chan struct{}) error {
 	}()
 	select {
 	case <-finished:
+		if s.journal != nil {
+			if err := s.journal.Close(); err != nil {
+				s.logf("journal: close: %v", err)
+			}
+		}
 		return nil
 	case <-done:
 		return errors.New("server: shutdown aborted before drain completed")
@@ -308,7 +439,9 @@ func (s *Server) execute(j *job) {
 	j.events.close()
 	if state == StateDone {
 		s.cache.put(j.hash, &cacheEntry{result: result, runs: runs})
+		s.persist(j.hash, result, runs)
 	}
+	s.markDone(j.hash)
 	s.metrics.jobFinished(state, wall, runs)
 	s.logf("job %s: %s (%.2fs, %d runs)%s", j.id, state, wall.Seconds(), len(runs), errSuffix(errMsg))
 }
@@ -336,6 +469,68 @@ func (s *Server) runGuarded(j *job) (result []byte, runs []RunMeta, err error) {
 	// telemetry to it only when the spec requests events, but optimize
 	// jobs stream their per-generation search progress regardless.
 	return s.runFn(j.spec, j.events, j.cancel)
+}
+
+// persist write-throughs one finished result to the durable store
+// (no-op without a data dir). A store failure is logged, not fatal:
+// the in-memory tiers still serve the result for this life of the
+// daemon, it just will not survive a restart.
+func (s *Server) persist(hash string, result []byte, runs []RunMeta) {
+	if s.store == nil {
+		return
+	}
+	meta, err := json.Marshal(runs)
+	if err == nil {
+		err = s.store.Put(hash, store.Entry{Result: result, Meta: meta})
+	}
+	if err != nil {
+		s.logf("store: put %s: %v", shortHash(hash), err)
+	}
+}
+
+// markDone appends the job's done record to the journal (no-op
+// without a data dir). Every terminal state counts as done — failed
+// and canceled jobs must not be re-executed by a restart either.
+func (s *Server) markDone(hash string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Done(hash); err != nil {
+		s.logf("journal: done %s: %v", shortHash(hash), err)
+	}
+}
+
+// lookupResult is the two-tier content-addressed lookup: the memory
+// cache first, then the durable store, promoting a disk hit back into
+// memory so its bytes keep serving without another read. A corrupt
+// stored entry was already quarantined by Get and reads as a miss —
+// the job re-executes and re-persists clean bytes.
+func (s *Server) lookupResult(hash string) *cacheEntry {
+	if e := s.cache.get(hash); e != nil {
+		return e
+	}
+	if s.store == nil {
+		return nil
+	}
+	ent, ok, err := s.store.Get(hash)
+	if err != nil {
+		s.logf("store: get %s: %v", shortHash(hash), err)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	var runs []RunMeta
+	if len(ent.Meta) > 0 {
+		if err := json.Unmarshal(ent.Meta, &runs); err != nil {
+			s.logf("store: get %s: bad run metadata: %v", shortHash(hash), err)
+			runs = nil
+		}
+	}
+	e := &cacheEntry{result: ent.Result, runs: runs}
+	s.cache.put(hash, e)
+	s.metrics.storeHit()
+	return e
 }
 
 // handleSubmit is POST /v1/jobs: validate, answer from the result
@@ -374,10 +569,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel: make(chan struct{}),
 		state:  StateQueued,
 	}
-	if e := s.cache.get(hash); e != nil {
-		// Content-addressed hit: the job is born finished with the
-		// cached bytes — byte-identical to the execution that
-		// populated the entry — and nothing executes.
+	if e := s.lookupResult(hash); e != nil {
+		// Content-addressed hit (memory or disk tier): the job is
+		// born finished with the cached bytes — byte-identical to the
+		// execution that populated the entry — and nothing executes.
 		j.state = StateDone
 		j.cached = true
 		j.result = e.result
@@ -390,10 +585,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
-	select {
-	case s.queue <- j:
-	default:
-		depth := len(s.queue)
+	// Backpressure is checked against the configured depth, not the
+	// channel's capacity (recovery may have sized the channel larger),
+	// and before journaling, so a rejected submission leaves no journal
+	// record behind. Under s.mu only workers drain the queue
+	// concurrently, so a depth below the bound guarantees the send
+	// cannot block.
+	if depth := len(s.queue); depth >= s.cfg.QueueDepth {
 		s.seq-- // not registered; reuse the ID
 		s.mu.Unlock()
 		retry := s.metrics.retryAfter(depth, s.cfg.Workers)
@@ -402,6 +600,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("job queue full (%d queued); retry after %s", depth, retry))
 		return
 	}
+	if s.journal != nil {
+		// Journal before acknowledging: the 202 is a durable promise,
+		// so a submission that cannot be journaled is refused rather
+		// than accepted into a state a crash would silently lose.
+		specJSON, jerr := json.Marshal(spec)
+		if jerr == nil {
+			jerr = s.journal.Accept(hash, specJSON)
+		}
+		if jerr != nil {
+			s.seq--
+			s.mu.Unlock()
+			s.logf("journal: accept %s: %v", shortHash(hash), jerr)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Sprintf("cannot journal submission: %v", jerr))
+			return
+		}
+	}
+	s.queue <- j
 	s.register(j)
 	s.mu.Unlock()
 	s.metrics.jobSubmitted(false)
@@ -506,21 +722,44 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents is GET /v1/jobs/{id}/events: the job's telemetry JSONL
 // stream. By default the response follows a live job until it
-// finishes; ?follow=0 returns only what is buffered. Jobs submitted
-// without "events": true produce an empty stream.
+// finishes; ?follow=0 returns only what is buffered. ?offset=N skips
+// the first N bytes of the log (clamped to what is buffered), so a
+// client whose connection dropped mid-stream resumes where it left off
+// instead of re-reading from the top. Jobs submitted without
+// "events": true produce an empty stream.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.jobByID(w, r)
 	if j == nil {
 		return
 	}
 	follow := r.URL.Query().Get("follow") != "0"
+	offset := 0
+	if v := r.URL.Query().Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid offset %q", v))
+			return
+		}
+		offset = j.events.clamp(n)
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	offset := 0
 	for {
 		chunk, closed := j.events.next(r.Context(), offset)
 		if len(chunk) > 0 {
+			if s.svcFaults != nil && s.svcFaults.StreamDisconnect() {
+				// Deliver half the chunk, then abort the connection
+				// without a clean close: the client sees a truncated
+				// mid-stream disconnect (not a retryable
+				// before-response failure) and must resume via
+				// ?offset.
+				w.Write(chunk[:len(chunk)/2])
+				if flusher != nil {
+					flusher.Flush()
+				}
+				panic(http.ErrAbortHandler)
+			}
 			if _, err := w.Write(chunk); err != nil {
 				return
 			}
@@ -555,6 +794,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		}
 		j.mu.Unlock()
 		j.events.close()
+		s.markDone(j.hash)
 		s.metrics.jobFinished(StateCanceled, 0, nil)
 		s.logf("job %s: canceled while queued", j.id)
 	case StateRunning:
@@ -577,20 +817,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.QueueCapacity = s.cfg.QueueDepth
 	m.Workers = s.cfg.Workers
 	m.Draining = s.Draining()
-	m.CacheHits, m.CacheMisses, m.CacheEntries, m.CacheBytes = s.cache.stats()
+	m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheEntries, m.CacheBytes = s.cache.stats()
+	if s.store != nil {
+		m.StoreEntries, m.StoreBytes = s.store.Stats()
+		m.JournalReplayed = s.journalReplayed
+	}
 	writeJSON(w, http.StatusOK, m)
 }
 
 // handleHealthz is GET /healthz: readiness. 200 while accepting jobs,
-// 503 once draining.
+// 503 once draining. A durable daemon additionally reports its store
+// integrity — how the startup scan went (entries recovered,
+// quarantined, stale) plus any entries quarantined at runtime — and
+// how many journaled jobs the last boot requeued.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, struct {
-		Status string `json:"status"`
-	}{Status: status})
+	out := struct {
+		Status          string        `json:"status"`
+		Store           *store.Report `json:"store,omitempty"`
+		JournalReplayed *uint64       `json:"journal_replayed,omitempty"`
+	}{Status: status}
+	if s.store != nil {
+		rep := s.store.Scan()
+		out.Store = &rep
+		out.JournalReplayed = &s.journalReplayed
+	}
+	writeJSON(w, code, out)
 }
 
 // writeJSON renders v as an indented JSON response.

@@ -19,7 +19,10 @@ import (
 // the test.
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -388,7 +391,10 @@ func TestCancelQueued(t *testing.T) {
 // submissions must flip to 503 immediately, and Shutdown must return
 // once the in-flight job finishes.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 	release := make(chan struct{})

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"acedo/internal/fault"
+)
+
+// Journal is the daemon's write-ahead job log: an append-only text
+// file recording every accepted job before it is acknowledged and
+// every completion after it finalises, so that a restart can requeue
+// exactly the submissions that were accepted but never finished.
+//
+// Each line is one record framed as
+//
+//	<crc32 hex, 8 chars> <JSON>\n
+//
+// with the CRC computed over the JSON bytes. A crash can tear only
+// the final line (the file is append-only); replay stops at the first
+// line that fails framing or CRC, so a torn tail costs at most the
+// record being written at the moment of death — which is exactly the
+// record whose acknowledgement the client never saw.
+//
+// Accept records are fsynced before returning: an acknowledged job is
+// durable. Done records are appended without fsync — losing one is
+// harmless, because replaying a finished job finds its result in the
+// store and completes as a cache hit without re-simulating.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	faults *fault.Service
+}
+
+// Pending is one journaled-but-unfinished job surfaced by replay.
+type Pending struct {
+	// Hash is the job's content address (SpecHash).
+	Hash string `json:"hash"`
+	// Spec is the normalised spec's canonical JSON.
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// record is the journal's line payload.
+type record struct {
+	// Op is "accept" or "done".
+	Op   string          `json:"op"`
+	Hash string          `json:"hash"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// OpenJournal replays the journal at path (creating it if absent),
+// compacts it down to its pending records, and returns the journal
+// open for appending plus the pending jobs in acceptance order,
+// deduplicated by hash. faults may be nil.
+func OpenJournal(path string, faults *fault.Service) (*Journal, []Pending, error) {
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	pending := replay(b)
+
+	// Compact: rewrite only the pending accepts, atomically, so the
+	// journal never grows without bound and a torn tail from the
+	// previous life is discarded for good.
+	var buf bytes.Buffer
+	for _, p := range pending {
+		line, err := frame(record{Op: opAccept, Hash: p.Hash, Spec: p.Spec})
+		if err != nil {
+			return nil, nil, err
+		}
+		buf.Write(line)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-journal-*")
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, nil, fmt.Errorf("journal: compact: %w", err)
+	}
+	syncDir(dir)
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: f, path: path, faults: faults}, pending, nil
+}
+
+// Journal record operations.
+const (
+	opAccept = "accept"
+	opDone   = "done"
+)
+
+// replay walks the journal bytes and returns the accepted-but-not-
+// done set in acceptance order, deduplicated by hash. It stops at the
+// first torn or corrupt line.
+func replay(b []byte) []Pending {
+	specs := make(map[string]json.RawMessage)
+	var order []string
+	for len(b) > 0 {
+		nl := bytes.IndexByte(b, '\n')
+		if nl < 0 {
+			break // torn tail: no newline ever made it to disk
+		}
+		line := b[:nl]
+		b = b[nl+1:]
+		rec, ok := parse(line)
+		if !ok {
+			break // corrupt line: everything after it is suspect
+		}
+		switch rec.Op {
+		case opAccept:
+			if _, dup := specs[rec.Hash]; !dup {
+				order = append(order, rec.Hash)
+			}
+			specs[rec.Hash] = rec.Spec
+		case opDone:
+			if _, ok := specs[rec.Hash]; ok {
+				delete(specs, rec.Hash)
+			}
+		}
+	}
+	var out []Pending
+	emitted := make(map[string]bool)
+	for _, h := range order {
+		if emitted[h] {
+			continue // re-accepted after a done: one requeue is enough
+		}
+		if spec, ok := specs[h]; ok {
+			emitted[h] = true
+			out = append(out, Pending{Hash: h, Spec: spec})
+		}
+	}
+	return out
+}
+
+// frame renders one record as a CRC-framed journal line.
+func frame(rec record) ([]byte, error) {
+	j, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	line := make([]byte, 0, 8+1+len(j)+1)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(j))
+	line = append(line, j...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// parse validates one framed line.
+func parse(line []byte) (record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return record{}, false
+	}
+	var crc uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &crc); err != nil {
+		return record{}, false
+	}
+	j := line[9:]
+	if crc32.ChecksumIEEE(j) != crc {
+		return record{}, false
+	}
+	var rec record
+	if err := json.Unmarshal(j, &rec); err != nil {
+		return record{}, false
+	}
+	return rec, true
+}
+
+// append writes one framed record, optionally fsyncing, under the
+// journal's fault seams ("journal" op).
+func (j *Journal) append(rec record, sync bool) error {
+	line, err := frame(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.faults.StoreWrite("journal") {
+	case fault.StoreErr:
+		return fmt.Errorf("journal: append: %w", fault.ErrInjected)
+	case fault.StoreTorn:
+		// A torn append reaches the disk as a prefix with no
+		// newline; replay discards it. The write itself reports
+		// success, as a crash after a buffered write would.
+		j.f.Write(line[:j.faults.TornLen(len(line))])
+		return nil
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if sync {
+		if j.faults.StoreSync("journal") {
+			return fmt.Errorf("journal: fsync: %w", fault.ErrInjected)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Accept durably records one accepted job (hash plus its normalised
+// spec JSON) and fsyncs before returning; the daemon must not
+// acknowledge the submission unless Accept succeeds.
+func (j *Journal) Accept(hash string, spec []byte) error {
+	return j.append(record{Op: opAccept, Hash: hash, Spec: spec}, true)
+}
+
+// Done records one finished job (any terminal state). It does not
+// fsync: a lost done record merely makes the restart replay find the
+// job's result already in the store and finish it as a cache hit.
+func (j *Journal) Done(hash string) error {
+	return j.append(record{Op: opDone, Hash: hash}, false)
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

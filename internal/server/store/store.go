@@ -1,0 +1,365 @@
+// Package store is the daemon's durability layer: a disk-backed
+// content-addressed result store plus a journaled job queue, so that
+// a crash — up to and including kill -9 — loses neither cached
+// results nor accepted-but-unfinished submissions.
+//
+// The result store keeps one file per SpecHash, written with the
+// classic atomic protocol (temp file in the same directory → fsync →
+// rename → directory fsync) so a reader never observes a
+// partially-written entry under its final name. Every entry carries a
+// CRC-checked header binding it to the engine-version string that
+// produced it; the startup scan recovers entries that check out,
+// skips entries from other engine versions, and quarantines corrupt
+// or torn files into a quarantine/ subdirectory instead of serving
+// them.
+//
+// The journal is an append-only text file of CRC-framed records:
+// accepted jobs are appended (and fsynced) before the daemon
+// acknowledges them, completion appends a done record, and replay on
+// restart returns the accepted-but-not-done set — deduplicated by
+// hash, tolerant of a torn final record, and compacted on open.
+//
+// Both halves thread the service-level fault injector
+// (fault.Service) through their write and sync seams, so chaos tests
+// can rehearse disk failure and torn writes deterministically; a nil
+// injector is the zero-cost common case.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"acedo/internal/fault"
+)
+
+// magic heads every result file; a file without it is not ours (or is
+// torn before byte 4) and quarantines on sight.
+var magic = []byte("ACR1")
+
+// ErrCorrupt reports a result file that failed validation — bad
+// magic, short header, CRC mismatch, or torn payload. The store
+// quarantines the file before returning it.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// quarantineDir is the subdirectory corrupt files are moved into,
+// keeping them for post-mortems without ever serving them.
+const quarantineDir = "quarantine"
+
+// Entry is one stored result: the result document bytes plus opaque
+// metadata (the server serialises its per-run metadata into Meta, the
+// store never interprets it).
+type Entry struct {
+	Result []byte
+	Meta   []byte
+}
+
+// Report summarises one startup scan for /healthz and logs.
+type Report struct {
+	// Recovered counts entries that validated and joined the index.
+	Recovered int `json:"recovered"`
+	// Quarantined counts corrupt/torn files moved to quarantine/.
+	Quarantined int `json:"quarantined"`
+	// Stale counts valid files from a different engine version,
+	// left on disk but not indexed.
+	Stale int `json:"stale"`
+}
+
+// Store is the disk tier of the content-addressed result cache. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	version string
+	faults  *fault.Service
+	sizes   map[string]int64 // hash → file size on disk
+	bytes   int64
+	report  Report
+}
+
+// Open creates dir if needed, scans it, and returns the store with
+// every valid same-version entry indexed. Corrupt or torn files are
+// moved to dir/quarantine; leftover temp files from a previous crash
+// are removed; files written by another engine version stay on disk
+// but are not served. faults may be nil.
+func Open(dir, version string, faults *fault.Service) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		version: version,
+		faults:  faults,
+		sizes:   make(map[string]int64),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		hash, ok := strings.CutSuffix(name, ".res")
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			s.quarantine(path)
+			s.report.Quarantined++
+			continue
+		}
+		_, ver, err := decode(b)
+		switch {
+		case err != nil:
+			s.quarantine(path)
+			s.report.Quarantined++
+		case ver != version:
+			s.report.Stale++
+		default:
+			s.sizes[hash] = int64(len(b))
+			s.bytes += int64(len(b))
+			s.report.Recovered++
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Scan returns the startup scan report.
+func (s *Store) Scan() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// Stats returns the indexed entry count and their on-disk bytes.
+func (s *Store) Stats() (entries int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sizes), s.bytes
+}
+
+// Hashes returns the indexed hashes, in no particular order.
+func (s *Store) Hashes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sizes))
+	for h := range s.sizes {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Has reports whether hash is indexed (without reading the file).
+func (s *Store) Has(hash string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sizes[hash]
+	return ok
+}
+
+// path returns the final file name of one hash.
+func (s *Store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".res")
+}
+
+// Put durably stores one entry: encode with a CRC header, write to a
+// temp file in the store directory, fsync, rename over the final
+// name, and fsync the directory, so either the complete entry is
+// visible under its final name or nothing is. Re-putting an existing
+// hash is a no-op (entries are immutable — same hash, same bytes).
+func (s *Store) Put(hash string, e Entry) error {
+	s.mu.Lock()
+	if _, ok := s.sizes[hash]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	payload := encode(s.version, e)
+	switch s.faults.StoreWrite("result") {
+	case fault.StoreErr:
+		return fmt.Errorf("store: write %s: %w", short(hash), fault.ErrInjected)
+	case fault.StoreTorn:
+		// Simulate the crash window the atomic protocol exists to
+		// mask: a torn file appears under the final name. The write
+		// "succeeds" — only a later read or restart scan discovers
+		// the damage and quarantines it.
+		torn := payload[:s.faults.TornLen(len(payload))]
+		if err := os.WriteFile(s.path(hash), torn, 0o644); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.mu.Lock()
+		s.sizes[hash] = int64(len(torn))
+		s.bytes += int64(len(torn))
+		s.mu.Unlock()
+		return nil
+	}
+
+	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func() { f.Close(); os.Remove(tmp) }
+	if _, err := f.Write(payload); err != nil {
+		cleanup()
+		return fmt.Errorf("store: write %s: %w", short(hash), err)
+	}
+	if s.faults.StoreSync("result") {
+		cleanup()
+		return fmt.Errorf("store: fsync %s: %w", short(hash), fault.ErrInjected)
+	}
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: fsync %s: %w", short(hash), err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close %s: %w", short(hash), err)
+	}
+	if err := os.Rename(tmp, s.path(hash)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: rename %s: %w", short(hash), err)
+	}
+	syncDir(s.dir)
+
+	s.mu.Lock()
+	s.sizes[hash] = int64(len(payload))
+	s.bytes += int64(len(payload))
+	s.mu.Unlock()
+	return nil
+}
+
+// Get reads and validates one entry. A missing hash returns
+// (zero, false, nil). A file that fails validation is quarantined,
+// dropped from the index, and reported as ErrCorrupt — the caller
+// treats it as a miss and re-executes.
+func (s *Store) Get(hash string) (Entry, bool, error) {
+	s.mu.Lock()
+	_, ok := s.sizes[hash]
+	s.mu.Unlock()
+	if !ok {
+		return Entry{}, false, nil
+	}
+	path := s.path(hash)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.drop(hash, path)
+		return Entry{}, false, fmt.Errorf("store: read %s: %w", short(hash), err)
+	}
+	e, ver, err := decode(b)
+	if err != nil || ver != s.version {
+		s.drop(hash, path)
+		if err == nil {
+			err = fmt.Errorf("%w: engine version changed", ErrCorrupt)
+		}
+		return Entry{}, false, err
+	}
+	return e, true, nil
+}
+
+// drop quarantines a bad file and removes it from the index.
+func (s *Store) drop(hash, path string) {
+	s.quarantine(path)
+	s.mu.Lock()
+	if n, ok := s.sizes[hash]; ok {
+		s.bytes -= n
+		delete(s.sizes, hash)
+	}
+	s.report.Quarantined++
+	s.mu.Unlock()
+}
+
+// quarantine moves a file under quarantine/ (best-effort: on any
+// error it falls back to removal so the bad file can never be
+// re-scanned as live).
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(path)
+		return
+	}
+	if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
+		os.Remove(path)
+	}
+}
+
+// short abbreviates a hash for error strings.
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
+
+// syncDir fsyncs a directory so a completed rename is durable;
+// best-effort on platforms where directories cannot be opened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// encode renders one entry:
+//
+//	magic   4B "ACR1"
+//	crc32   4B LE, IEEE, over everything after this field
+//	verLen  4B LE   |
+//	metaLen 4B LE   | section lengths
+//	resLen  4B LE   |
+//	version, meta, result bytes
+func encode(version string, e Entry) []byte {
+	n := 4 + 4 + 12 + len(version) + len(e.Meta) + len(e.Result)
+	b := make([]byte, 0, n)
+	b = append(b, magic...)
+	b = append(b, 0, 0, 0, 0) // crc placeholder
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(version)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Meta)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Result)))
+	b = append(b, version...)
+	b = append(b, e.Meta...)
+	b = append(b, e.Result...)
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(b[8:]))
+	return b
+}
+
+// decode parses and validates one entry file, returning the entry
+// and the engine-version string it was written under.
+func decode(b []byte) (Entry, string, error) {
+	if len(b) < 20 || string(b[:4]) != string(magic) {
+		return Entry{}, "", fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(b[8:]) != binary.LittleEndian.Uint32(b[4:8]) {
+		return Entry{}, "", fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	verLen := int(binary.LittleEndian.Uint32(b[8:12]))
+	metaLen := int(binary.LittleEndian.Uint32(b[12:16]))
+	resLen := int(binary.LittleEndian.Uint32(b[16:20]))
+	body := b[20:]
+	if len(body) != verLen+metaLen+resLen {
+		return Entry{}, "", fmt.Errorf("%w: truncated payload", ErrCorrupt)
+	}
+	ver := string(body[:verLen])
+	meta := append([]byte(nil), body[verLen:verLen+metaLen]...)
+	res := append([]byte(nil), body[verLen+metaLen:]...)
+	return Entry{Result: res, Meta: meta}, ver, nil
+}

@@ -1,0 +1,339 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acedo/internal/fault"
+)
+
+const testVersion = "acelabd/test 1"
+
+func openTest(t *testing.T, dir string, faults *fault.Service) *Store {
+	t.Helper()
+	s, err := Open(dir, testVersion, faults)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	e := Entry{Result: []byte(`{"x":1}` + "\n"), Meta: []byte(`[{"benchmark":"compress"}]`)}
+	if err := s.Put("aa11", e); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := s.Get("aa11")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got.Result, e.Result) || !bytes.Equal(got.Meta, e.Meta) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, e)
+	}
+	if _, ok, _ := s.Get("nope"); ok {
+		t.Fatal("Get of unknown hash reported a hit")
+	}
+	if n, b := s.Stats(); n != 1 || b <= 0 {
+		t.Fatalf("Stats = (%d, %d), want one entry with positive bytes", n, b)
+	}
+	// Re-putting the same hash is a no-op, not an error.
+	if err := s.Put("aa11", Entry{Result: []byte("other")}); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	got, _, _ = s.Get("aa11")
+	if !bytes.Equal(got.Result, e.Result) {
+		t.Fatal("re-Put overwrote an immutable entry")
+	}
+}
+
+func TestScanRecoversAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	e := Entry{Result: []byte("result-bytes"), Meta: []byte("meta")}
+	if err := s.Put("cafe01", e); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh store over the same directory must index the
+	// entry and serve byte-identical content.
+	s2 := openTest(t, dir, nil)
+	if rep := s2.Scan(); rep.Recovered != 1 || rep.Quarantined != 0 {
+		t.Fatalf("scan report = %+v, want 1 recovered", rep)
+	}
+	got, ok, err := s2.Get("cafe01")
+	if err != nil || !ok || !bytes.Equal(got.Result, e.Result) {
+		t.Fatalf("recovered entry mismatch: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestScanQuarantinesCorruptAndTorn(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	if err := s.Put("aaaa", Entry{Result: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bbbb", Entry{Result: []byte("to-be-flipped")}); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of bbbb (CRC mismatch) and plant a torn
+	// file and junk that is not ours.
+	path := filepath.Join(dir, "bbbb.res")
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+	full, _ := os.ReadFile(filepath.Join(dir, "aaaa.res"))
+	os.WriteFile(filepath.Join(dir, "cccc.res"), full[:len(full)/2], 0o644)
+	os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("leftover"), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644)
+
+	s2 := openTest(t, dir, nil)
+	rep := s2.Scan()
+	if rep.Recovered != 1 || rep.Quarantined != 2 {
+		t.Fatalf("scan report = %+v, want 1 recovered / 2 quarantined", rep)
+	}
+	if _, ok, _ := s2.Get("bbbb"); ok {
+		t.Fatal("corrupt entry served after restart")
+	}
+	if got, ok, err := s2.Get("aaaa"); err != nil || !ok || string(got.Result) != "good" {
+		t.Fatalf("good entry lost: ok=%v err=%v", ok, err)
+	}
+	// Quarantined files moved, not deleted; the temp file is gone.
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "bbbb.res")); err != nil {
+		t.Errorf("corrupt file not in quarantine: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-123")); !os.IsNotExist(err) {
+		t.Errorf("crash-leftover temp file survived the scan")
+	}
+}
+
+func TestStaleEngineVersionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	old, err := Open(dir, "acelabd/OLD", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := old.Put("dead", Entry{Result: []byte("old-bytes")}); err != nil {
+		t.Fatal(err)
+	}
+	s := openTest(t, dir, nil)
+	rep := s.Scan()
+	if rep.Stale != 1 || rep.Recovered != 0 || rep.Quarantined != 0 {
+		t.Fatalf("scan report = %+v, want 1 stale", rep)
+	}
+	if s.Has("dead") {
+		t.Fatal("stale-version entry indexed")
+	}
+	// The file stays on disk for the old version to find again.
+	if _, err := os.Stat(filepath.Join(dir, "dead.res")); err != nil {
+		t.Errorf("stale file removed: %v", err)
+	}
+}
+
+func TestGetQuarantinesRuntimeCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, nil)
+	if err := s.Put("feed", Entry{Result: []byte("fine")}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "feed.res")
+	b, _ := os.ReadFile(path)
+	os.WriteFile(path, b[:len(b)-3], 0o644)
+
+	_, ok, err := s.Get("feed")
+	if ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of corrupted entry = ok=%v err=%v, want ErrCorrupt", ok, err)
+	}
+	if s.Has("feed") {
+		t.Fatal("corrupt entry still indexed after Get")
+	}
+	if n, bts := s.Stats(); n != 0 || bts != 0 {
+		t.Fatalf("Stats after quarantine = (%d, %d), want zero", n, bts)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "feed.res")); err != nil {
+		t.Errorf("runtime-corrupt file not quarantined: %v", err)
+	}
+}
+
+func TestInjectedWriteFaults(t *testing.T) {
+	svc, err := fault.NewService(&fault.Plan{Rules: []fault.Rule{
+		// The error rule absorbs the first write; the torn rule's
+		// first eligible hit is therefore the second write (an error
+		// fire returns before the torn rule is consulted).
+		{Point: fault.PointStoreWrite, Kind: fault.KindError, Unit: "result", Count: 1},
+		{Point: fault.PointStoreWrite, Kind: fault.KindTorn, Unit: "result", Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s := openTest(t, dir, svc)
+
+	if err := s.Put("e1", Entry{Result: []byte("x")}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("first Put err = %v, want injected", err)
+	}
+	// Second Put is torn: it "succeeds", but the next read discovers
+	// the damage, quarantines, and reports corruption.
+	if err := s.Put("t1", Entry{Result: []byte("will-be-torn-on-disk")}); err != nil {
+		t.Fatalf("torn Put surfaced an error: %v", err)
+	}
+	if _, ok, err := s.Get("t1"); ok || err == nil {
+		t.Fatalf("torn entry served: ok=%v err=%v", ok, err)
+	}
+	// Third Put is clean.
+	if err := s.Put("ok1", Entry{Result: []byte("clean")}); err != nil {
+		t.Fatalf("post-fault Put: %v", err)
+	}
+	if got, ok, err := s.Get("ok1"); err != nil || !ok || string(got.Result) != "clean" {
+		t.Fatalf("clean entry lost: ok=%v err=%v", ok, err)
+	}
+	if n := svc.Fired(fault.PointStoreWrite, fault.KindTorn); n != 1 {
+		t.Fatalf("torn fires = %d, want 1", n)
+	}
+}
+
+func TestJournalReplayAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, pending, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal has %d pending", len(pending))
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Accept("h1", []byte(`{"scale":10}`)))
+	must(j.Accept("h2", []byte(`{"scale":20}`)))
+	must(j.Accept("h2", []byte(`{"scale":20}`))) // duplicate submission
+	must(j.Done("h1"))
+	must(j.Accept("h3", []byte(`{"scale":30}`)))
+	must(j.Close())
+
+	j2, pending, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(pending) != 2 || pending[0].Hash != "h2" || pending[1].Hash != "h3" {
+		t.Fatalf("pending = %+v, want h2,h3 in order", pending)
+	}
+	if string(pending[0].Spec) != `{"scale":20}` {
+		t.Fatalf("pending spec = %s", pending[0].Spec)
+	}
+	// Compaction rewrote the file down to the two pending accepts.
+	b, _ := os.ReadFile(path)
+	if n := bytes.Count(b, []byte("\n")); n != 2 {
+		t.Fatalf("compacted journal has %d lines, want 2\n%s", n, b)
+	}
+	if bytes.Contains(b, []byte("h1")) {
+		t.Fatal("done job survived compaction")
+	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("good", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// A crash mid-append leaves a torn final line.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`deadbeef {"op":"accept","hash":"torn`)
+	f.Close()
+
+	j2, pending, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(pending) != 1 || pending[0].Hash != "good" {
+		t.Fatalf("pending = %+v, want only the intact record", pending)
+	}
+	// Compaction discarded the torn bytes for good.
+	b, _ := os.ReadFile(path)
+	if strings.Contains(string(b), "torn") {
+		t.Fatalf("torn record survived compaction:\n%s", b)
+	}
+}
+
+func TestJournalCorruptLineStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(j.Accept("a", []byte(`{}`)))
+	must(j.Accept("b", []byte(`{}`)))
+	j.Close()
+
+	// Corrupt the second line's JSON without touching its CRC.
+	b, _ := os.ReadFile(path)
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	lines[1][len(lines[1])-5] ^= 0x01
+	os.WriteFile(path, bytes.Join(lines, nil), 0o644)
+
+	_, pending, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Hash != "a" {
+		t.Fatalf("pending = %+v, want replay to stop before the corrupt line", pending)
+	}
+}
+
+func TestJournalInjectedFaults(t *testing.T) {
+	svc, err := fault.NewService(&fault.Plan{Rules: []fault.Rule{
+		// Error absorbs append 1; torn sees appends 2,3 and skips its
+		// first eligible hit (After: 1), tearing append 3.
+		{Point: fault.PointStoreWrite, Kind: fault.KindError, Unit: "journal", Count: 1},
+		{Point: fault.PointStoreWrite, Kind: fault.KindTorn, Unit: "journal", After: 1, Count: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "journal")
+	j, _, err := OpenJournal(path, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First append fails — the daemon must not have acknowledged.
+	if err := j.Accept("h1", []byte(`{}`)); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Accept err = %v, want injected", err)
+	}
+	// Second is clean, third is torn (reports success, tears on disk).
+	if err := j.Accept("h2", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("h3", []byte(`{}`)); err != nil {
+		t.Fatalf("torn Accept surfaced an error: %v", err)
+	}
+	j.Close()
+
+	_, pending, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Hash != "h2" {
+		t.Fatalf("pending = %+v, want only the intact accept", pending)
+	}
+}

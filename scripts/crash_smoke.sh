@@ -1,0 +1,101 @@
+#!/bin/sh
+# Crash-recovery smoke test (CI): boot acelabd in crash-safe mode
+# (-data-dir), run a job, kill the daemon with SIGKILL — no drain, no
+# goodbye — restart it on the same data dir, and require:
+#   1. the resubmitted spec is a content-addressed cache hit served
+#      from the recovered disk store, byte-identical to the result the
+#      first life produced, with nothing re-simulated;
+#   2. a job killed mid-run (accepted and journaled, never finished)
+#      is requeued by journal replay and completes on the new process;
+#   3. /healthz reports the store scan and /metrics the replay count.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8323}
+TMP=${TMPDIR:-/tmp}
+DATA="$TMP/acedo_crash_data"
+rm -rf "$DATA"
+
+$GO build -o "$TMP/acelabd" ./cmd/acelabd
+$GO build -o "$TMP/acelab" ./cmd/acelab
+
+wait_up() {
+    i=0
+    until "$TMP/acelab" -server "http://$ADDR" metrics >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "crash-smoke: daemon never came up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+"$TMP/acelabd" -addr "$ADDR" -data-dir "$DATA" -q &
+pid=$!
+trap 'kill -9 "$pid" 2>/dev/null || true' EXIT
+wait_up
+
+echo "crash-smoke: life 1 up; running a job to completion"
+"$TMP/acelab" -server "http://$ADDR" run '{"benchmarks":["compress"],"scale":10,"run_meta":true}' \
+    > "$TMP/acedo_crash_before.json"
+
+# A slower job that will die mid-run: submitted (journaled), not done.
+"$TMP/acelab" -server "http://$ADDR" submit '{"benchmarks":["jess"],"scale":3}' \
+    > "$TMP/acedo_crash_pending.json"
+grep -q '"state": "queued"' "$TMP/acedo_crash_pending.json"
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+echo "crash-smoke: SIGKILL delivered mid-job"
+
+"$TMP/acelabd" -addr "$ADDR" -data-dir "$DATA" &
+pid=$!
+trap 'kill -9 "$pid" 2>/dev/null || true' EXIT
+wait_up
+
+echo "crash-smoke: life 2 up; checking recovery surfaces"
+"$TMP/acelab" -server "http://$ADDR" metrics > "$TMP/acedo_crash_metrics.json"
+grep -q '"journal_replayed": 1' "$TMP/acedo_crash_metrics.json" || {
+    echo "crash-smoke: journal replay not reported:" >&2
+    cat "$TMP/acedo_crash_metrics.json" >&2
+    exit 1
+}
+# store_entries is omitempty: its presence means the scan recovered
+# at least one durable result.
+grep -q '"store_entries"' "$TMP/acedo_crash_metrics.json" || {
+    echo "crash-smoke: no store entries recovered:" >&2
+    cat "$TMP/acedo_crash_metrics.json" >&2
+    exit 1
+}
+echo "crash-smoke: journal replayed the interrupted job; store recovered"
+
+# The finished job's result must be a cache hit with identical bytes.
+"$TMP/acelab" -server "http://$ADDR" submit '{"benchmarks":["compress"],"scale":10,"run_meta":true}' \
+    > "$TMP/acedo_crash_hit.json"
+grep -q '"cached": true' "$TMP/acedo_crash_hit.json"
+grep -q '"state": "done"' "$TMP/acedo_crash_hit.json"
+"$TMP/acelab" -server "http://$ADDR" run '{"benchmarks":["compress"],"scale":10,"run_meta":true}' \
+    > "$TMP/acedo_crash_after.json"
+cmp "$TMP/acedo_crash_before.json" "$TMP/acedo_crash_after.json"
+echo "crash-smoke: recovered result byte-identical across the crash"
+
+# The replayed job must reach done on the new process.
+i=0
+while :; do
+    "$TMP/acelab" -server "http://$ADDR" jobs > "$TMP/acedo_crash_jobs.json"
+    grep -q '"state": "failed"' "$TMP/acedo_crash_jobs.json" && {
+        echo "crash-smoke: a recovered job failed:" >&2
+        cat "$TMP/acedo_crash_jobs.json" >&2
+        exit 1
+    }
+    if ! grep -Eq '"state": "(queued|running)"' "$TMP/acedo_crash_jobs.json"; then
+        break
+    fi
+    i=$((i + 1))
+    [ "$i" -ge 600 ] && { echo "crash-smoke: replayed job never finished" >&2; exit 1; }
+    sleep 0.5
+done
+echo "crash-smoke: replayed job completed"
+
+kill -TERM "$pid"
+wait "$pid" 2>/dev/null || true
+trap - EXIT
+echo "crash-smoke: ok"
