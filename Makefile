@@ -38,24 +38,26 @@ bench-snapshot:
 # benchjson -compare gates against the best value per benchmark across
 # all listed records (the trajectory's high-water mark). BENCH_pr3 is
 # the last direct-execution record; BENCH_pr4 adds the record-once/
-# replay-many fast path, so BenchmarkSuite's ns/op dropped sharply.
-BENCH_BASE ?= BENCH_pr3.json BENCH_pr4.json
+# replay-many fast path; BENCH_pr8 adds the summarized-block replay
+# engine (packed op stream + fused charges), halving suite replay
+# time again and adding the BenchmarkReplay* single-trace records.
+BENCH_BASE ?= BENCH_pr3.json BENCH_pr4.json BENCH_pr8.json
 
 # Diffing a fresh run against multiple old records only works with the
 # bundled comparator; benchstat reconstruction uses the newest one.
-BENCH_NEWEST ?= BENCH_pr4.json
+BENCH_NEWEST ?= BENCH_pr8.json
 
 # Re-measure the hot benchmarks and write a fresh perf record
 # (BENCH_<commit>.json) for check-in at perf-sensitive PRs.
 bench-record:
-	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$' -count=5 . \
+	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$|BenchmarkReplay' -count=5 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_$$(git rev-parse --short HEAD).json
 
 # Diff current throughput against the committed records ($(BENCH_BASE)).
 # Uses benchstat when installed; otherwise the bundled benchjson
 # comparator prints the delta table and fails on a >15% regression.
 bench-compare:
-	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$' -count=5 . > /tmp/acedo_bench_new.txt
+	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$|BenchmarkReplay' -count=5 . > /tmp/acedo_bench_new.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) run ./cmd/benchjson -raw $(BENCH_NEWEST) > /tmp/acedo_bench_base.txt; \
 		benchstat /tmp/acedo_bench_base.txt /tmp/acedo_bench_new.txt; \
@@ -91,6 +93,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEngineVsReference -fuzztime=20s ./internal/vm
 	$(GO) test -fuzz=FuzzCacheVsReference -fuzztime=20s ./internal/cache
 	$(GO) test -fuzz=FuzzDetector -fuzztime=20s ./internal/bbv
+	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=20s ./internal/rtrace
 
 # Fault-injection and watchdog tests (see DESIGN.md §8), under the
 # race detector: gate rejection/deferral, resize stalls, sample
@@ -133,6 +136,7 @@ ci: build vet fmt-check doclint
 	$(GO) test -fuzz=FuzzEngineUnderManagement -fuzztime=10s -run=^$$ ./internal/vm
 	$(GO) test -fuzz=FuzzCacheVsReference -fuzztime=10s -run=^$$ ./internal/cache
 	$(GO) test -fuzz=FuzzDetector -fuzztime=10s -run=^$$ ./internal/bbv
+	$(GO) test -fuzz=FuzzTraceDecode -fuzztime=10s -run=^$$ ./internal/rtrace
 	$(MAKE) chaos
 	$(MAKE) server-smoke
 	$(MAKE) optimize-smoke

@@ -375,6 +375,46 @@ func BenchmarkSuite(b *testing.B) {
 	}
 }
 
+// BenchmarkReplay measures summarized trace-replay throughput: the
+// baseline trace is recorded once outside the timer, then each
+// iteration replays it into a fresh machine through the
+// summarized-block engine (the per-scheme cost of record-once /
+// replay-many).
+func BenchmarkReplay(b *testing.B) {
+	benchReplay(b, 0)
+}
+
+// BenchmarkReplayParallel is BenchmarkReplay with intra-run span
+// parallelism (4 workers): the replay splits into spans reconstructed
+// speculatively on worker goroutines and spliced back bit-for-bit.
+// On a single-core host this measures the span machinery's overhead
+// rather than a speedup.
+func BenchmarkReplayParallel(b *testing.B) {
+	benchReplay(b, 4)
+}
+
+func benchReplay(b *testing.B, intraPar int) {
+	b.Helper()
+	spec, _ := acedo.BenchmarkByName("jess")
+	spec = spec.WithMainLoops(benchLoops)
+	opt := acedo.DefaultOptions()
+	res, tr, err := experiment.RecordedBaseline(spec, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tr == nil {
+		b.Fatal("baseline recording not retained")
+	}
+	opt.IntraParallelism = intraPar
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ReplayScheme(spec, acedo.SchemeBaseline, opt, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Instr)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkEngine measures raw interpreter throughput in simulated
 // instructions per second.
 func BenchmarkEngine(b *testing.B) {

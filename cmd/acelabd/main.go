@@ -43,6 +43,7 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", 0, "retained job records (0 = default 1024)")
 		dataDir   = flag.String("data-dir", "", "crash-safe mode: persist results and journal jobs under this directory")
 		svcFaults = flag.String("service-faults", "", "JSON fault plan injecting service-level faults (disk errors, torn writes, HTTP latency/500s, stream disconnects)")
+		intraPar  = flag.Int("intra-par", 0, "goroutines per trace replay inside a job (0/1 = serial; results are bit-identical at any setting)")
 		drain     = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
 		quiet     = flag.Bool("q", false, "suppress per-job log lines")
 	)
@@ -62,13 +63,14 @@ func main() {
 		}
 	}
 	srv, err := server.New(server.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheBytes:    *cacheMB << 20,
-		MaxJobs:       *maxJobs,
-		DataDir:       *dataDir,
-		ServiceFaults: plan,
-		Log:           logw,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheBytes:       *cacheMB << 20,
+		MaxJobs:          *maxJobs,
+		IntraParallelism: *intraPar,
+		DataDir:          *dataDir,
+		ServiceFaults:    plan,
+		Log:              logw,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "acelabd: %v\n", err)

@@ -38,6 +38,7 @@ func run() int {
 	interval := flag.Uint64("interval", 0, "interval-metric sampling period in retired instructions (0 = the L1D reconfiguration interval)")
 	faults := flag.String("faults", "", "arm the fault-injection plan in this JSON file (chaos testing)")
 	noReplay := flag.Bool("noreplay", false, "with -scheme all: disable the record-once/replay-many fast path")
+	intraPar := flag.Int("intrapar", 0, "goroutines per trace replay (0/1 = serial; results are bit-identical at any setting)")
 	deadline := flag.Duration("deadline", 0, "wall-clock limit per run, e.g. 60s (0 = unbounded)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -78,6 +79,7 @@ func run() int {
 	opt.TelemetryInterval = *interval
 	opt.Deadline = *deadline
 	opt.NoReplay = *noReplay
+	opt.IntraParallelism = *intraPar
 	if *faults != "" {
 		plan, err := fault.LoadPlan(*faults)
 		if err != nil {

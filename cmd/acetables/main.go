@@ -36,6 +36,7 @@ func run() int {
 	jsonOut := flag.String("json", "", "write the suite's schema-stable bench snapshot JSON to this file instead of tables (\"-\" = stdout)")
 	runMeta := flag.Bool("runmeta", false, "include per-run wall time and record/replay disposition in the -json snapshot (schema-additive fields)")
 	noReplay := flag.Bool("noreplay", false, "disable the record-once/replay-many fast path and execute every scheme directly")
+	intraPar := flag.Int("intrapar", 0, "goroutines per trace replay (0/1 = serial; results are bit-identical at any setting)")
 	detectors := flag.Bool("detectors", false, "run the phase-detector comparison (BBV vs working-set signatures vs hotspot)")
 	quiet := flag.Bool("q", false, "suppress per-benchmark progress lines on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -62,6 +63,7 @@ func run() int {
 		opt = opt.WithThreeCU()
 	}
 	opt.NoReplay = *noReplay
+	opt.IntraParallelism = *intraPar
 	if !*quiet {
 		opt.Log = os.Stderr
 	}

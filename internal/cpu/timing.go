@@ -139,6 +139,51 @@ func (t *Timing) TLBMiss() {
 	t.stallCycles += scale(t.cfg.TLBMissCycles, t.windowMult)
 }
 
+// MispredictN charges n branch mispredictions in one call. The
+// per-event penalty is a constant, so the bulk charge equals n
+// sequential Mispredict calls exactly. n == 0 returns immediately —
+// the replay fast path calls the N-variants unconditionally.
+func (t *Timing) MispredictN(n uint64) {
+	if n == 0 {
+		return
+	}
+	t.mispredicts += n
+	t.branchCycles += n * t.cfg.MispredictPenalty
+}
+
+// L1MissN charges n L1 misses that hit in L2 in one call. The
+// per-event exposed latency is a pure function of the configuration
+// and the current window multiplier — both constant between
+// reconfiguration boundaries — so the bulk charge is bit-exact with n
+// sequential L1Miss calls.
+func (t *Timing) L1MissN(n uint64) {
+	if n == 0 {
+		return
+	}
+	t.stallsL1 += n
+	t.stallCycles += n * scale(t.cfg.L2HitLatency, t.cfg.L2Exposure*t.windowMult)
+}
+
+// L2MissN charges n L2 misses in one call (bit-exact with n L2Miss
+// calls; see L1MissN).
+func (t *Timing) L2MissN(n uint64) {
+	if n == 0 {
+		return
+	}
+	t.stallsL2 += n
+	t.stallCycles += n * scale(t.cfg.MemLatency, t.cfg.MemExposure*t.windowMult)
+}
+
+// TLBMissN charges n TLB misses in one call (bit-exact with n TLBMiss
+// calls; see L1MissN).
+func (t *Timing) TLBMissN(n uint64) {
+	if n == 0 {
+		return
+	}
+	t.stallsTLB += n
+	t.stallCycles += n * scale(t.cfg.TLBMissCycles, t.windowMult)
+}
+
 // Reconfigure charges one cache resize that flushed writebacks dirty
 // lines.
 func (t *Timing) Reconfigure(writebacks int) {

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"acedo/internal/fault"
+)
+
+// TestIntraParallelReplayMatrix is the summarized/parallel replay
+// differential matrix: for each workload × fault-plan cell, the
+// direct-execution control (NoReplay), the summarized serial replay,
+// and the span-parallel replay must produce identical results for
+// every scheme. Fault plans perturb sampling, signatures, and unit
+// requests — the adaptation machinery the replay engines must
+// reproduce event-for-event around their bulk fast paths.
+func TestIntraParallelReplayMatrix(t *testing.T) {
+	plans := map[string]*fault.Plan{
+		"nofault": nil,
+		"mixed": {Seed: 17, Rules: []fault.Rule{
+			{Point: fault.PointUnitRequest, Kind: fault.KindReject, Prob: 0.3},
+			{Point: fault.PointTimerSample, Kind: fault.KindDrop, Prob: 0.2},
+			{Point: fault.PointBBVSignature, Kind: fault.KindBitFlip, Every: 5},
+		}},
+	}
+	for _, bench := range []string{"jess", "db"} {
+		for name, plan := range plans {
+			t.Run(bench+"/"+name, func(t *testing.T) {
+				spec := shortSpec(t, bench)
+				opt := DefaultOptions()
+				opt.Faults = plan
+
+				replayed, direct := compareBoth(t, spec, opt)
+				checkSameRuns(t, replayed, direct)
+
+				popt := opt
+				popt.IntraParallelism = 4
+				parallel, err := Compare(spec, popt)
+				if err != nil {
+					t.Fatalf("intra-parallel Compare: %v", err)
+				}
+				checkSameRuns(t, parallel, direct)
+			})
+		}
+	}
+}
+
+// TestRunSuiteIntraParallelismDeterminism extends the suite-level
+// determinism pin: suite snapshot JSON must be byte-identical with
+// intra-run span parallelism enabled, composed with inter-run
+// parallelism.
+func TestRunSuiteIntraParallelismDeterminism(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxInstr = 250_000 // bound each run; determinism, not fidelity, is under test
+	snap := func(intra int) []byte {
+		o := opt
+		o.Parallelism = 2
+		o.IntraParallelism = intra
+		res, err := Collect(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := snap(0)
+	intra := snap(4)
+	if !bytes.Equal(serial, intra) {
+		t.Errorf("suite snapshots differ with intra-run parallelism:\nserial: %s\nintra:  %s", serial, intra)
+	}
+}

@@ -277,9 +277,15 @@ func replayOrFallback(spec workload.Spec, scheme Scheme, opt Options, tr *rtrace
 		if err != nil {
 			return nil, err
 		}
-		if err := tr.Replay(rtrace.Env{
+		env := rtrace.Env{
 			Prog: st.prog, Mach: st.mach, AOS: st.aos, BlockListener: st.listener,
-		}); err != nil {
+		}
+		if opt.IntraParallelism > 1 {
+			err = tr.ReplayParallel(env, opt.IntraParallelism)
+		} else {
+			err = tr.Replay(env)
+		}
+		if err != nil {
 			return nil, err
 		}
 		return st.finish(), nil

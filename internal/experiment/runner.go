@@ -114,6 +114,20 @@ type Options struct {
 	// same cap to fan per-scheme trace replays out in parallel.
 	Parallelism int
 
+	// IntraParallelism, when > 1, splits each single trace replay
+	// across that many goroutines (rtrace.Trace.ReplayParallel): the
+	// run's summarized op stream is partitioned into spans replayed
+	// speculatively against private cache clones and reconciled in
+	// order on the issuing goroutine. Results are bit-identical at any
+	// setting — spans that cannot be verified, schemes whose AOS is
+	// not passive, and runs with a block listener silently replay
+	// serially — so the knob only trades CPU for per-run latency.
+	// Composes with Parallelism (inter-run fan-out); the product
+	// bounds total goroutines, so oversubscribing both is wasteful.
+	// 0 or 1 disables intra-run splitting. Recording and direct runs
+	// are unaffected.
+	IntraParallelism int
+
 	// Cancel, when non-nil, aborts the run when the channel is closed
 	// (or receives): the engine executes in instruction-budget chunks —
 	// the same chunked drive the Deadline machinery uses — and checks

@@ -219,9 +219,11 @@ func (m *Meter) AccessN(n uint64) { m.dynNJ += float64(n) * m.curAccessNJ }
 // per-instruction reference path, keeping batched and stepped engine
 // modes byte-identical in every energy readout.
 func (m *Meter) AccessRepeat(n uint64) {
+	d, c := m.dynNJ, m.curAccessNJ
 	for ; n > 0; n-- {
-		m.dynNJ += m.curAccessNJ
+		d += c
 	}
+	m.dynNJ = d
 }
 
 // FlushWritebacks charges the reconfiguration flush of n dirty lines.

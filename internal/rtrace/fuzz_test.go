@@ -1,0 +1,111 @@
+package rtrace
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"acedo/internal/machine"
+	"acedo/internal/program"
+	"acedo/internal/vm"
+	"acedo/internal/workload"
+)
+
+// fuzzProg is built once: the fuzz target needs a real program to
+// resolve block indices against, but a fresh machine per input (the
+// replay mutates it).
+var fuzzProg = func() *program.Program {
+	spec, ok := workload.ByName("jess")
+	if !ok {
+		panic("no jess benchmark")
+	}
+	prog, err := spec.Build()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}()
+
+func fuzzEnv(t *testing.T) Env {
+	t.Helper()
+	mach, err := machine.New(machine.PaperConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Env{Prog: fuzzProg, Mach: mach, AOS: vm.NewAOS(vm.DefaultParams(), mach, fuzzProg)}
+}
+
+// FuzzTraceDecode feeds arbitrary bytes to both replay engines as a
+// single-chunk trace. The contract under hostile input: never panic,
+// fail only with ErrMalformed or ErrDiverged, agree with the oracle on
+// success/failure, and — when both paths accept the stream — leave
+// machines in bit-identical states. (Error classes may legitimately
+// differ on invalid streams: the summarizer validates the whole stream
+// before applying anything, so it can report a late encoding error
+// where the exact path already stopped at an earlier divergence.)
+func FuzzTraceDecode(f *testing.F) {
+	// Seeds: an empty stream, lone end markers, a tiny valid stream, a
+	// truncated stream, escaped operands, masked entries, and garbage.
+	f.Add([]byte{}, false)
+	f.Add([]byte{kExt | extEndHalted<<3}, false)
+	f.Add([]byte{kExt | extEndBudget<<3}, true)
+	f.Add([]byte{kEnter, kBatch | 5<<3, kData | 6<<3, kBranch, kExit, kExt | extEndHalted<<3}, false)
+	f.Add([]byte{kEnter, kBatch | 5<<3, kHalt, kExt | extEndBudget<<3}, true)
+	f.Add([]byte{kEnter, kBatch | payloadEscape<<3, 0x80, 0x08, kExt | extEndHalted<<3}, false)
+	f.Add([]byte{kExt | extEnterMasks<<3, 0, 1, 1, kExt | extDataTLB<<3, 1, 4, kExt | extEndHalted<<3}, false)
+	f.Add([]byte{kBlock | 3<<3, kExit, kExit}, false)
+	f.Add([]byte{0xFF, 0xFE, 0xFD, 0x01, 0x02}, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, truncated bool) {
+		mk := func() *Trace {
+			return &Trace{
+				chunks:    [][]byte{data},
+				size:      len(data),
+				truncated: truncated,
+				sumState:  new(sumState),
+			}
+		}
+		// A hostile uvarint can encode a near-2^64 retire batch, and
+		// the sampler legitimately settles batch/interval deliveries —
+		// hours of looping for a 12-byte input, on every engine
+		// including the oracle. Decode once up front (the summarizer
+		// mirrors the oracle's decoder, so its per-op totals cover
+		// exactly the prefix the oracle would execute) and skip streams
+		// whose batch total no real recording could reach.
+		if s := summarize(mk(), fuzzProg); s != nil && s.totalBatch() > 10_000_000 {
+			t.Skip("absurd batch total")
+		}
+		okErr := func(label string, err error) {
+			if err != nil && !errors.Is(err, ErrMalformed) && !errors.Is(err, ErrDiverged) {
+				t.Fatalf("%s: unexpected error class: %v", label, err)
+			}
+		}
+
+		exact := fuzzEnv(t)
+		errExact := mk().ReplayExact(exact)
+		okErr("exact", errExact)
+
+		sumEnv := fuzzEnv(t)
+		errSum := mk().Replay(sumEnv)
+		okErr("summarized", errSum)
+
+		parEnv := fuzzEnv(t)
+		errPar := mk().ReplayParallel(parEnv, 4)
+		okErr("parallel", errPar)
+
+		if (errExact == nil) != (errSum == nil) || (errExact == nil) != (errPar == nil) {
+			t.Fatalf("accept/reject disagreement: exact=%v summarized=%v parallel=%v",
+				errExact, errSum, errPar)
+		}
+		if errExact != nil {
+			return
+		}
+		want := exact.Mach.Snapshot()
+		if got := sumEnv.Mach.Snapshot(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("summarized snapshot differs:\n exact: %+v\n sum:   %+v", want, got)
+		}
+		if got := parEnv.Mach.Snapshot(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallel snapshot differs:\n exact: %+v\n par:   %+v", want, got)
+		}
+	})
+}

@@ -46,7 +46,33 @@ type rframe struct {
 // stream. Truncated traces therefore verify at every method boundary
 // that the machine's instruction count still equals the replayed batch
 // total, and return ErrDiverged on the first overhead charge.
+//
+// Replay runs the summarized-block engine (summary.go): the byte
+// stream is decoded once per trace into a pre-aggregated op stream,
+// and block instances whose data footprints are resident in the live
+// L1D apply as single bulk updates. The result is bit-identical to
+// ReplayExact — the retained byte-decoding oracle — which Replay
+// falls back to when the trace cannot be summarized (hand-built
+// traces, oversized recordings, or a program mismatch).
 func (t *Trace) Replay(env Env) error {
+	s := t.summaryFor(env.Prog)
+	if s == nil {
+		return t.ReplayExact(env)
+	}
+	if s.err != nil {
+		return s.err
+	}
+	w := newSumWalker(t, s, env)
+	_, err := w.walk(0, len(s.ops), true)
+	return err
+}
+
+// ReplayExact is the reference byte-decoding replay loop: it decodes
+// and applies every recorded event one at a time. Replay's summarized
+// engine is differentially tested against it; the two produce
+// bit-identical machine, AOS, and listener effects on every trace
+// they both accept.
+func (t *Trace) ReplayExact(env Env) error {
 	mach, aos, prog := env.Mach, env.AOS, env.Prog
 	listener := env.BlockListener
 	sampling := aos.Params().SampleInterval != 0
@@ -136,13 +162,13 @@ func (t *Trace) Replay(env Env) error {
 				mach.ReplayBranch(pay&1 != 0)
 
 			case kBlock:
-				if cur == nil || int(pay) >= len(cur.Blocks) {
+				if cur == nil || pay >= uint64(len(cur.Blocks)) {
 					return fmt.Errorf("%w: block %d out of range", ErrMalformed, pay)
 				}
 				enterBlock(cur.Blocks[pay], 0, 0)
 
 			case kEnter:
-				if int(pay) >= prog.NumMethods() {
+				if pay >= uint64(prog.NumMethods()) {
 					return fmt.Errorf("%w: method %d out of range", ErrMalformed, pay)
 				}
 				enterMethod(program.MethodID(pay), 0, 0)
@@ -203,13 +229,13 @@ func (t *Trace) Replay(env Env) error {
 					}
 					pos += n
 					if pay == extBlockMasks {
-						if cur == nil || int(v) >= len(cur.Blocks) {
+						if cur == nil || v >= uint64(len(cur.Blocks)) {
 							return fmt.Errorf("%w: block %d out of range", ErrMalformed, v)
 						}
 						enterBlock(cur.Blocks[v], tlbMask, missMask)
 						break
 					}
-					if int(v) >= prog.NumMethods() {
+					if v >= uint64(prog.NumMethods()) {
 						return fmt.Errorf("%w: method %d out of range", ErrMalformed, v)
 					}
 					enterMethod(program.MethodID(v), tlbMask, missMask)

@@ -79,6 +79,12 @@ type Trace struct {
 	events    uint64
 	size      int
 	truncated bool
+
+	// sumState caches the trace's decoded summary (built lazily on
+	// first replay; see summary.go). Behind a pointer so sealed Trace
+	// values stay copyable; nil on hand-built traces (tests), which
+	// then always take the byte-replay path.
+	sumState *sumState
 }
 
 // Truncated reports whether the recording stopped at an instruction
@@ -94,28 +100,59 @@ func (t *Trace) Events() uint64 { return t.events }
 // Size returns the encoded trace size in bytes.
 func (t *Trace) Size() int { return t.size }
 
+// arenaBytes is the recorder's chunk-arena allocation unit: chunks
+// are carved out of shared arenas instead of being allocated one
+// make() apiece, and sealing a chunk hands its spare tail capacity
+// (up to maxEventBytes−1 bytes that begin() could not guarantee would
+// fit an event) to the next chunk instead of stranding it.
+const arenaBytes = 16 * chunkBytes
+
 // Recorder implements vm.Recorder, accumulating the architectural
 // event stream of one engine run. Finish seals it into a Trace.
 type Recorder struct {
 	t        Trace
 	cur      []byte
+	arena    []byte
+	pos      int // bytes of arena consumed by sealed chunks + cur's start
 	prevAddr uint64
 	invalid  string
 }
 
 // NewRecorder returns an empty recorder ready to install on an engine.
 func NewRecorder() *Recorder {
-	return &Recorder{cur: make([]byte, 0, chunkBytes)}
+	r := &Recorder{}
+	r.carve()
+	return r
 }
 
 // begin makes room for one event, sealing the current chunk when fewer
-// than maxEventBytes remain.
+// than maxEventBytes remain. Events never straddle chunks.
 func (r *Recorder) begin() {
 	if cap(r.cur)-len(r.cur) < maxEventBytes {
-		r.t.chunks = append(r.t.chunks, r.cur)
-		r.cur = make([]byte, 0, chunkBytes)
+		if len(r.cur) > 0 {
+			r.t.chunks = append(r.t.chunks, r.cur)
+		}
+		r.pos += len(r.cur)
+		r.carve()
 	}
 	r.t.events++
+}
+
+// carve starts the next chunk as a capacity-bounded window into the
+// arena at the first unused byte — sealed chunks keep their bytes
+// (the window cannot grow into them and they are never appended to),
+// while their unused tails are reclaimed. A fresh arena is allocated
+// when the remainder cannot hold even one encoded event.
+func (r *Recorder) carve() {
+	if len(r.arena)-r.pos < maxEventBytes {
+		r.arena = make([]byte, arenaBytes)
+		r.pos = 0
+	}
+	end := r.pos + chunkBytes
+	if end > len(r.arena) {
+		end = len(r.arena)
+	}
+	r.cur = r.arena[r.pos:r.pos:end]
 }
 
 // op emits a kind byte with a small inline operand, escaping to a
@@ -256,6 +293,7 @@ func (r *Recorder) Finish(halted bool) (*Trace, error) {
 		r.t.size += len(c)
 	}
 	t := r.t
+	t.sumState = new(sumState)
 	r.t = Trace{}
 	return &t, nil
 }

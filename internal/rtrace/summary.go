@@ -1,0 +1,881 @@
+// Summarized-block replay: a sealed trace is decoded exactly once
+// into a flat op stream in which every block instance's body events
+// (data accesses, retire batches, branch verdicts, D-TLB outcomes)
+// are pre-aggregated, together with the instance's distinct-line data
+// footprint. Replays then walk the decoded stream instead of the byte
+// encoding: single-access bodies (the overwhelming case in the suite's
+// workloads) apply as one direct data access, multi-access bodies
+// whose footprint is fully resident in the live L1D apply as one bulk
+// arithmetic update — stats, LRU ticks, dirty bits, energy, and
+// stalls land exactly where the per-access path puts them (see
+// cache.TryApplyFootprint) — and everything else falls back to the
+// exact per-access path. The original byte-decoding loop survives as
+// Trace.ReplayExact, the differential oracle every summarized result
+// is tested against.
+//
+// The op stream is deliberately tiny — 16 bytes per op — because the
+// replay loop is memory-bound: the suite's traces decode to millions
+// of ops, so every extra op byte is a byte of DRAM traffic on every
+// replay. The common case (an intra-method block entry with a short
+// retire batch and at most one data access) packs into one word of
+// bit-fields plus one word holding the access itself; everything rare
+// — method entries, masked fetch walks, wide bodies — overflows into
+// a fat side table consulted only when an op's ext bit is set.
+package rtrace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sync"
+
+	"acedo/internal/cache"
+	"acedo/internal/isa"
+	"acedo/internal/machine"
+	"acedo/internal/program"
+	"acedo/internal/vm"
+)
+
+// Summary op kinds. Every op carries a boundary action (what kind of
+// trace event opened it) plus the aggregated body events that followed
+// it up to the next boundary.
+const (
+	opSeq       = iota // no boundary action (leading body events)
+	opEnter            // method entry (+ first block fetch); always ext
+	opBlock            // intra-method block entry (fetch)
+	opExit             // method return
+	opHalt             // explicit halt (unwinds all frames)
+	opEndHalted        // end marker: program halted
+	opEndBudget        // end marker: instruction budget reached
+)
+
+// Packed-op bit layout of sumOp.w. Any op whose fields do not fit
+// (and every opEnter or masked fetch) is stored as an ext record
+// instead, with opExtBit set and sumOp.d holding the summary.ext
+// index.
+const (
+	opKindBits = 3
+	opExtBit   = 1 << 3
+	opFastBit  = 1 << 4
+
+	opLinesShift = 5  // 6 bits: I-lines in the fetch walk
+	opFootShift  = 11 // 6 bits: footprint length (multi-access bodies)
+	opDataShift  = 17 // 10 bits: body data-access count
+	opTLBShift   = 27 // 10 bits: body D-TLB miss count
+	opBrShift    = 37 // 8 bits: body branch mispredictions
+	opBatchShift = 45 // 19 bits: body retired-instruction total
+
+	opLinesMax = 1<<6 - 1
+	opFootMax  = 1<<6 - 1
+	opDataMax  = 1<<10 - 1
+	opTLBMax   = 1<<10 - 1
+	opBrMax    = 1<<8 - 1
+	opBatchMax = 1<<19 - 1
+	opInstrMax = 1<<8 - 1 // block instr count packable into the pc stream
+)
+
+// sumOp is one boundary event plus its aggregated body, packed into 16
+// bytes. w holds the kind and the bit-fields above; d holds the body's
+// single data access (wordAddr<<1 | write) when nData==1, the packed
+// dataOff|footOff<<32 table offsets when nData>=2, or the ext-table
+// index when opExtBit is set.
+type sumOp struct {
+	w uint64
+	d uint64
+}
+
+// sumExt is the unpacked form of a rare op: method entries (which need
+// the method ID), masked fetch walks (which need the line range and
+// the recorded I-TLB/L1I outcome masks), and bodies whose counts
+// overflow the packed fields.
+type sumExt struct {
+	firstLine uint64 // opEnter/opBlock: first I-line byte address
+	pc        uint64 // opEnter/opBlock: block's first-instruction index
+	batch     uint64 // body: total retired instructions
+	tlbMask   uint64 // fetch walk: recorded I-TLB miss mask
+	missMask  uint64 // fetch walk: recorded L1I miss mask
+	dataOff   uint32 // body: offset into summary.data
+	footOff   uint32 // body: offset into summary.foot
+	nData     uint32 // body: data access count
+	nInstrs   uint32 // opEnter/opBlock: block instruction count
+	dtlb      uint32 // body: recorded D-TLB misses
+	brWrong   uint32 // body: recorded branch mispredictions
+	method    int32  // opEnter: method ID; -1 otherwise
+	nLines    uint16 // opEnter/opBlock: I-lines in the fetch walk
+	nFoot     uint8  // body: footprint length (0 with fastOK unset)
+	fastOK    bool   // footprint small enough for the bulk-apply path
+}
+
+// summary is a trace decoded once against a program: the packed op
+// stream, the side tables rare ops and listener replays index into,
+// and the flat data-access and footprint tables for multi-access
+// bodies. Immutable after construction and shared by every concurrent
+// replay of the trace.
+type summary struct {
+	ops     []sumOp
+	pcs     []uint64 // per packed block op: pc<<8 | nInstrs (listener replays only)
+	ext     []sumExt
+	data    []uint64 // wordAddr<<1 | write bit, in access order
+	foot    []cache.FootLine
+	err     error // non-nil: the byte stream is malformed
+	progSig uint64
+}
+
+// totalBatch sums every op's retired-instruction total, saturating on
+// overflow (fuzz-harness helper: hostile uvarint batches can encode
+// near-2^64 totals).
+func (s *summary) totalBatch() uint64 {
+	var sum uint64
+	for i := range s.ops {
+		o := &s.ops[i]
+		var b uint64
+		if o.w&opExtBit != 0 {
+			b = s.ext[o.d].batch
+		} else {
+			b = o.w >> opBatchShift
+		}
+		if sum+b < sum {
+			return ^uint64(0)
+		}
+		sum += b
+	}
+	return sum
+}
+
+// sumState hangs the lazily built summary off a Trace behind a
+// pointer, so sealed Trace values stay copyable.
+type sumState struct {
+	mu    sync.Mutex
+	built bool
+	sum   *summary
+}
+
+// summaryMaxTraceBytes bounds the traces that get summarized: the
+// decoded op stream costs roughly 6× the encoded bytes, so very large
+// recordings keep the byte-replay path instead of ballooning memory.
+const summaryMaxTraceBytes = 96 << 20
+
+// iLine is the L1I/L1D line size the summarizer computes footprints
+// and fetch-walk ranges at (matches machine.New's cache geometry).
+const iLine = isa.ILineBytes
+
+// progSigOf fingerprints the program content a summary's resolved
+// block geometry depends on: replays of the same cached trace always
+// rebuild an identical program, but a mismatch must fail safe (byte
+// replay) rather than apply another program's line ranges.
+func progSigOf(prog *program.Program) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(prog.NumMethods()))
+	for _, m := range prog.Methods {
+		put(uint64(len(m.Blocks)))
+		put(uint64(m.StaticInstrs))
+		if len(m.Blocks) > 0 {
+			put(m.Blocks[0].PC)
+		}
+	}
+	return h.Sum64()
+}
+
+// summaryFor returns the trace's summary resolved against prog,
+// building it on first use (guarded by the trace's state lock). It
+// returns nil when the trace is too large to summarize, when the
+// trace was hand-built without summary state (tests), or when prog
+// does not match the program the cached summary was resolved against
+// — callers must use ReplayExact then.
+func (t *Trace) summaryFor(prog *program.Program) *summary {
+	st := t.sumState
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	if !st.built {
+		st.built = true
+		if t.size <= summaryMaxTraceBytes {
+			st.sum = summarize(t, prog)
+		}
+	}
+	s := st.sum
+	st.mu.Unlock()
+	if s != nil && s.progSig != progSigOf(prog) {
+		return nil
+	}
+	return s
+}
+
+// opBuild accumulates one op's boundary fields and body aggregates
+// before it is committed as a packed op or an ext record.
+type opBuild struct {
+	kind     uint8
+	method   int32
+	blk      *program.Block
+	tlbMask  uint64
+	missMask uint64
+	batch    uint64
+	dtlb     uint32
+	brWrong  uint32
+}
+
+// summarize decodes the whole byte stream once, mirroring
+// ReplayExact's decoder exactly: the same operand forms, the same
+// validation, the same frame tracking for block-index resolution. A
+// malformed stream yields a summary carrying the error Replay
+// reports, so the byte path and the summarized path fail the same
+// traces.
+func summarize(t *Trace, prog *program.Program) *summary {
+	// ~4.5 encoded bytes per boundary event across the suite's traces:
+	// sizing the op stream up front keeps the build out of append's
+	// copy-doubling regime.
+	opGuess := t.size/4 + 16
+	s := &summary{
+		progSig: progSigOf(prog),
+		ops:     make([]sumOp, 0, opGuess),
+		pcs:     make([]uint64, 0, opGuess),
+	}
+
+	var stack []*program.Method
+	var cur *program.Method
+	var prevAddr uint64
+
+	open := opBuild{kind: opSeq, method: -1}
+	var body []uint64 // current op's data accesses, wordAddr<<1|write
+
+	// footprintOf appends the body's distinct-line footprint — each
+	// line with the ordinal of its last access and the OR of its writes
+	// — returning false when it exceeds cache.MaxFootprint (the body
+	// then stays exact-only).
+	footprintOf := func() (uint8, bool) {
+		base := len(s.foot)
+		for i, d := range body {
+			line := ((d >> 1) * 8) &^ (iLine - 1)
+			write := d&1 != 0
+			found := false
+			for j := base; j < len(s.foot); j++ {
+				if s.foot[j].Addr == line {
+					s.foot[j].Ordinal = uint32(i + 1)
+					if write {
+						s.foot[j].Write = true
+					}
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			if len(s.foot)-base >= cache.MaxFootprint {
+				s.foot = s.foot[:base]
+				return 0, false
+			}
+			s.foot = append(s.foot, cache.FootLine{Addr: line, Ordinal: uint32(i + 1), Write: write})
+		}
+		return uint8(len(s.foot) - base), true
+	}
+
+	// emit commits the open op: packed when every field fits and no
+	// ext-only feature (method identity, fetch masks) is involved, an
+	// ext record otherwise.
+	emit := func() {
+		nData := uint32(len(body))
+		var blkLines uint64
+		var nInstrs uint32
+		if open.blk != nil {
+			blkLines = (open.blk.LastLine-open.blk.FirstLine)/iLine + 1
+			nInstrs = uint32(len(open.blk.Instrs))
+		}
+		// fastOK only ever holds for multi-access bodies: single
+		// accesses replay directly (an empty footprint would bulk-
+		// "apply" vacuously, charging energy without touching the
+		// cache), and footprintOf reports overflow for the rest.
+		var nFoot uint8
+		var fastOK bool
+		if nData >= 2 {
+			nFoot, fastOK = footprintOf()
+		}
+		ext := open.method >= 0 || open.tlbMask != 0 || open.missMask != 0 ||
+			blkLines > opLinesMax || nData > opDataMax ||
+			open.dtlb > opTLBMax || open.brWrong > opBrMax ||
+			open.batch > opBatchMax || nInstrs > opInstrMax ||
+			(nData == 1 && open.dtlb > 1)
+		if ext {
+			x := sumExt{
+				batch:    open.batch,
+				tlbMask:  open.tlbMask,
+				missMask: open.missMask,
+				dataOff:  uint32(len(s.data)),
+				footOff:  uint32(len(s.foot)) - uint32(nFoot),
+				nData:    nData,
+				nInstrs:  nInstrs,
+				dtlb:     open.dtlb,
+				brWrong:  open.brWrong,
+				method:   open.method,
+				nLines:   uint16(blkLines),
+				nFoot:    nFoot,
+				fastOK:   fastOK,
+			}
+			if open.blk != nil {
+				x.firstLine = open.blk.FirstLine
+				x.pc = open.blk.PC
+			}
+			s.data = append(s.data, body...)
+			s.ops = append(s.ops, sumOp{
+				w: uint64(open.kind) | opExtBit,
+				d: uint64(len(s.ext)),
+			})
+			s.pcs = append(s.pcs, 0)
+			s.ext = append(s.ext, x)
+		} else {
+			w := uint64(open.kind) |
+				blkLines<<opLinesShift |
+				uint64(nFoot)<<opFootShift |
+				uint64(nData)<<opDataShift |
+				uint64(open.dtlb)<<opTLBShift |
+				uint64(open.brWrong)<<opBrShift |
+				open.batch<<opBatchShift
+			if fastOK {
+				w |= opFastBit
+			}
+			var d, pc uint64
+			switch {
+			case nData == 1:
+				d = body[0]
+			case nData >= 2:
+				d = uint64(uint32(len(s.data))) | uint64(uint32(len(s.foot))-uint32(nFoot))<<32
+				s.data = append(s.data, body...)
+			}
+			if open.blk != nil {
+				pc = open.blk.PC<<8 | uint64(nInstrs)
+			}
+			s.ops = append(s.ops, sumOp{w: w, d: d})
+			s.pcs = append(s.pcs, pc)
+		}
+		body = body[:0]
+	}
+
+	next := func(kind uint8) {
+		emit()
+		open = opBuild{kind: kind, method: -1}
+	}
+
+	enter := func(id, tlbMask, missMask uint64) error {
+		if id >= uint64(prog.NumMethods()) {
+			return fmt.Errorf("%w: method %d out of range", ErrMalformed, id)
+		}
+		m := prog.Method(program.MethodID(id))
+		stack = append(stack, m)
+		cur = m
+		next(opEnter)
+		open.method = int32(id)
+		open.blk = m.Blocks[0]
+		open.tlbMask, open.missMask = tlbMask, missMask
+		return nil
+	}
+
+	block := func(idx, tlbMask, missMask uint64) error {
+		if cur == nil || idx >= uint64(len(cur.Blocks)) {
+			return fmt.Errorf("%w: block %d out of range", ErrMalformed, idx)
+		}
+		next(opBlock)
+		open.blk = cur.Blocks[idx]
+		open.tlbMask, open.missMask = tlbMask, missMask
+		return nil
+	}
+
+	fail := func(err error) *summary {
+		s.err = err
+		return s
+	}
+
+	for ci := 0; ci < len(t.chunks); ci++ {
+		buf := t.chunks[ci]
+		pos := 0
+		for pos < len(buf) {
+			opByte := buf[pos]
+			pos++
+			kind := opByte & 7
+			pay := uint64(opByte >> 3)
+
+			switch kind {
+			case kBlock, kBatch, kEnter:
+				if pay == payloadEscape {
+					v, n := binary.Uvarint(buf[pos:])
+					if n <= 0 {
+						return fail(fmt.Errorf("%w: bad operand at chunk %d pos %d", ErrMalformed, ci, pos))
+					}
+					pos += n
+					pay = v
+				}
+			}
+
+			switch kind {
+			case kBatch:
+				open.batch += pay
+
+			case kData:
+				write := pay & 1
+				delta := pay >> 1
+				if delta == 15 {
+					v, n := binary.Uvarint(buf[pos:])
+					if n <= 0 {
+						return fail(fmt.Errorf("%w: bad data delta at chunk %d pos %d", ErrMalformed, ci, pos))
+					}
+					pos += n
+					delta = v
+				}
+				addr := uint64(int64(prevAddr) + unzigzag(delta))
+				prevAddr = addr
+				body = append(body, addr<<1|write)
+
+			case kBranch:
+				if pay&1 == 0 {
+					open.brWrong++
+				}
+
+			case kBlock:
+				if err := block(pay, 0, 0); err != nil {
+					return fail(err)
+				}
+
+			case kEnter:
+				if err := enter(pay, 0, 0); err != nil {
+					return fail(err)
+				}
+
+			case kExit:
+				if len(stack) == 0 {
+					return fail(fmt.Errorf("%w: exit with empty frame stack", ErrMalformed))
+				}
+				stack = stack[:len(stack)-1]
+				if len(stack) > 0 {
+					cur = stack[len(stack)-1]
+				} else {
+					cur = nil
+				}
+				next(opExit)
+
+			case kHalt:
+				stack = stack[:0]
+				cur = nil
+				next(opHalt)
+
+			case kExt:
+				switch pay {
+				case extEndHalted:
+					next(opEndHalted)
+					emit()
+					return s
+				case extEndBudget:
+					next(opEndBudget)
+					emit()
+					return s
+
+				case extBlockMasks, extEnterMasks:
+					v, n := binary.Uvarint(buf[pos:])
+					if n <= 0 {
+						return fail(fmt.Errorf("%w: bad masked-entry operand", ErrMalformed))
+					}
+					pos += n
+					tlbMask, n := binary.Uvarint(buf[pos:])
+					if n <= 0 {
+						return fail(fmt.Errorf("%w: bad I-TLB mask", ErrMalformed))
+					}
+					pos += n
+					missMask, n := binary.Uvarint(buf[pos:])
+					if n <= 0 {
+						return fail(fmt.Errorf("%w: bad L1I mask", ErrMalformed))
+					}
+					pos += n
+					// Clamp the masks to the block's line count: the
+					// per-line walk (ReplayFetchLines) never consults
+					// bits at or above nLines, so clamping keeps the
+					// bulk popcount charges identical to the exact walk
+					// even on hostile hand-built traces.
+					clampMasks := func(b *program.Block) (uint64, uint64) {
+						nLines := (b.LastLine-b.FirstLine)/iLine + 1
+						if nLines < 64 {
+							clamp := uint64(1)<<nLines - 1
+							return tlbMask & clamp, missMask & clamp
+						}
+						return tlbMask, missMask
+					}
+					if pay == extBlockMasks {
+						if cur == nil || v >= uint64(len(cur.Blocks)) {
+							return fail(fmt.Errorf("%w: block %d out of range", ErrMalformed, v))
+						}
+						tm, mm := clampMasks(cur.Blocks[v])
+						if err := block(v, tm, mm); err != nil {
+							return fail(err)
+						}
+						break
+					}
+					if v >= uint64(prog.NumMethods()) {
+						return fail(fmt.Errorf("%w: method %d out of range", ErrMalformed, v))
+					}
+					tm, mm := clampMasks(prog.Method(program.MethodID(v)).Blocks[0])
+					if err := enter(v, tm, mm); err != nil {
+						return fail(err)
+					}
+
+				case extDataTLB:
+					w, n := binary.Uvarint(buf[pos:])
+					if n <= 0 {
+						return fail(fmt.Errorf("%w: bad data flags", ErrMalformed))
+					}
+					pos += n
+					delta, n := binary.Uvarint(buf[pos:])
+					if n <= 0 {
+						return fail(fmt.Errorf("%w: bad data delta", ErrMalformed))
+					}
+					pos += n
+					addr := uint64(int64(prevAddr) + unzigzag(delta))
+					prevAddr = addr
+					body = append(body, addr<<1|(w&1))
+					open.dtlb++
+
+				default:
+					return fail(fmt.Errorf("%w: unknown extended event %d", ErrMalformed, pay))
+				}
+			}
+		}
+	}
+	return fail(fmt.Errorf("%w: missing end marker", ErrMalformed))
+}
+
+// sumWalker replays a summary's op stream into a live environment. It
+// is the summarized counterpart of ReplayExact's event loop: boundary
+// actions (fetch walks, listener calls, AOS method events, divergence
+// checks) happen per op in recorded order, while each op's body is
+// applied as aggregates — one IssueBatch + sampler settlement for the
+// body's whole retire total (exact by the batched-watermark argument
+// in vm.AOS.sampleDueN), bulk D-TLB/mispredict charges (commutative
+// integer constants within an instance), and a direct access
+// (single-access bodies), the footprint fast path, or the exact
+// per-access loop for the data stream.
+type sumWalker struct {
+	s          *summary
+	prog       *program.Program
+	mach       *machine.Machine
+	aos        *vm.AOS
+	listener   func(pc uint64, instrs int)
+	sampling   bool
+	footOK     bool
+	check      bool
+	firstEnter bool
+	frames     []rframe
+	ids        []program.MethodID
+	start      uint64
+	batchSum   uint64
+}
+
+func newSumWalker(t *Trace, s *summary, env Env) *sumWalker {
+	return &sumWalker{
+		s:          s,
+		prog:       env.Prog,
+		mach:       env.Mach,
+		aos:        env.AOS,
+		listener:   env.BlockListener,
+		sampling:   env.AOS.Params().SampleInterval != 0,
+		footOK:     env.Mach.L1D.BlockBytes() == iLine,
+		check:      t.truncated,
+		firstEnter: true,
+		frames:     make([]rframe, 0, 64),
+		ids:        make([]program.MethodID, 0, 64),
+		start:      env.Mach.Instructions(),
+	}
+}
+
+// opBoundaryMask selects ops the fused walk cannot fold into a
+// straight-line run: every ext op, and every packed kind with bit 0
+// or bit 2 set (opEnter=1, opExit=3, opHalt=4, opEndHalted=5,
+// opEndBudget=6). The foldable kinds — opSeq=0 and opBlock=2 — are
+// exactly the ones with both bits clear.
+const opBoundaryMask = opExtBit | 0b101
+
+// walk replays ops[lo:hi). With cacheWork the live L1D/L2 simulate
+// every body (direct access or footprint fast path when possible,
+// exact loop otherwise); without it the walker performs only the
+// state-independent work — AOS boundaries, sampler polls, retire
+// batches, and the arithmetic charges — leaving the cache evolution
+// to a span worker whose results are spliced in afterwards. done
+// reports that an end-marker op was consumed.
+//
+// Listener-free replays take the fused path, which coalesces the
+// arithmetic charges of straight-line runs; replays with a block
+// listener must surface every block boundary individually.
+func (w *sumWalker) walk(lo, hi int, cacheWork bool) (done bool, err error) {
+	if w.listener == nil {
+		return w.walkFused(lo, hi, cacheWork)
+	}
+	for i := lo; i < hi; i++ {
+		done, err = w.applyOp(w.s.ops[i], i, cacheWork)
+		if done || err != nil {
+			return done, err
+		}
+	}
+	return false, nil
+}
+
+// walkFused is walk for replays without a block listener. Within a
+// straight-line run (consecutive seq/block ops — no method boundary,
+// no end marker) the frame stack is constant and every non-cache
+// charge is a sum of per-event constants over independent
+// accumulators, so the run's fetch lines, retire batch, recorded
+// mispredicts, and D-TLB misses can accumulate in locals and flush as
+// single bulk charges at the run boundary. Bit-exactness of each
+// merged charge: integer counters add associatively, power meters
+// charge via Meter.AccessRepeat (one add per event regardless of
+// call granularity), and the merged sampler poll delivers the same
+// samples to the same frame stack (vm.AOS.sampleDueN covers the
+// contiguous retire range identically however it is subdivided).
+// Data accesses still apply one at a time, in order — only their
+// surrounding arithmetic is batched. Boundary ops flush first, then
+// take the exact per-op path, so AOS hooks and reconfigurations
+// observe the same machine state as the unfused walk.
+func (w *sumWalker) walkFused(lo, hi int, cacheWork bool) (done bool, err error) {
+	mach, aos, s := w.mach, w.aos, w.s
+	ops := s.ops[:hi]
+	for i := lo; i < hi; {
+		var lines, batch, br, dtlb uint64
+		j := i
+		for ; j < len(ops); j++ {
+			o := ops[j]
+			if o.w&opBoundaryMask != 0 {
+				break
+			}
+			lines += o.w >> opLinesShift & opLinesMax
+			if nData := o.w >> opDataShift & opDataMax; nData != 0 {
+				dtlb += o.w >> opTLBShift & opTLBMax
+				if cacheWork {
+					if nData == 1 {
+						mach.ReplayData(o.d>>1, o.d&1 != 0, false)
+					} else {
+						w.replayBody(o.w, o.d, nData, 0)
+					}
+				}
+			}
+			batch += o.w >> opBatchShift
+			br += o.w >> opBrShift & opBrMax
+		}
+		if lines != 0 {
+			mach.ReplayFetchCharges(lines, 0, 0)
+		}
+		if dtlb != 0 {
+			mach.ChargeDataTLBMisses(dtlb)
+		}
+		if batch != 0 {
+			mach.IssueBatch(batch)
+			w.batchSum += batch
+			if w.sampling {
+				aos.ReplayBatchPoll(mach.Instructions(), batch, w.ids)
+			}
+		}
+		if br != 0 {
+			mach.ChargeMispredicts(br)
+		}
+		if j >= hi {
+			return false, nil
+		}
+		done, err = w.applyOp(ops[j], j, cacheWork)
+		if done || err != nil {
+			return done, err
+		}
+		i = j + 1
+	}
+	return false, nil
+}
+
+// applyOp replays a single op exactly: the boundary action in
+// recorded order, then the body, retire batch with sampler poll, and
+// misprediction charges.
+func (w *sumWalker) applyOp(o sumOp, i int, cacheWork bool) (done bool, err error) {
+	mach, aos, s := w.mach, w.aos, w.s
+	{
+		if o.w&opExtBit != 0 {
+			return w.applyExt(o.w&(1<<opKindBits-1), &s.ext[o.d], cacheWork)
+		}
+		switch o.w & (1<<opKindBits - 1) {
+		case opSeq:
+
+		case opBlock:
+			if n := o.w >> opLinesShift & opLinesMax; n != 0 {
+				mach.ReplayFetchCharges(n, 0, 0)
+			}
+			if w.listener != nil {
+				p := s.pcs[i]
+				w.listener(p>>8, int(p&opInstrMax))
+			}
+
+		case opExit:
+			f := w.frames[len(w.frames)-1]
+			w.frames = w.frames[:len(w.frames)-1]
+			w.ids = w.ids[:len(w.ids)-1]
+			aos.ReplayMethodExit(f.m.ID, mach.Instructions()-f.entry)
+			if w.check && mach.Instructions() != w.start+w.batchSum {
+				return false, ErrDiverged
+			}
+
+		case opHalt:
+			now := mach.Instructions()
+			for j := len(w.frames) - 1; j >= 0; j-- {
+				aos.ReplayMethodExit(w.frames[j].m.ID, now-w.frames[j].entry)
+			}
+			w.frames = w.frames[:0]
+			w.ids = w.ids[:0]
+			if w.check && now != w.start+w.batchSum {
+				return false, ErrDiverged
+			}
+
+		case opEndHalted, opEndBudget:
+			return true, nil
+		}
+
+		if nData := o.w >> opDataShift & opDataMax; nData != 0 {
+			dtlb := o.w >> opTLBShift & opTLBMax
+			switch {
+			case !cacheWork:
+				if dtlb != 0 {
+					mach.ChargeDataTLBMisses(dtlb)
+				}
+			case nData == 1:
+				mach.ReplayData(o.d>>1, o.d&1 != 0, dtlb != 0)
+			default:
+				w.replayBody(o.w, o.d, nData, dtlb)
+			}
+		}
+		if batch := o.w >> opBatchShift; batch != 0 {
+			mach.IssueBatch(batch)
+			w.batchSum += batch
+			if w.sampling {
+				aos.ReplayBatchPoll(mach.Instructions(), batch, w.ids)
+			}
+		}
+		if br := o.w >> opBrShift & opBrMax; br != 0 {
+			mach.ChargeMispredicts(br)
+		}
+	}
+	return false, nil
+}
+
+// replayBody applies a packed multi-access body: the footprint bulk
+// path when every line is resident, the exact per-access loop
+// otherwise.
+func (w *sumWalker) replayBody(opw, opd, nData, dtlb uint64) {
+	mach := w.mach
+	dataOff, footOff := uint32(opd), uint32(opd>>32)
+	if opw&opFastBit != 0 && w.footOK {
+		nFoot := opw >> opFootShift & opFootMax
+		if mach.TryReplayDataFootprint(w.s.foot[footOff:uint64(footOff)+nFoot], nData, dtlb) {
+			return
+		}
+	}
+	for _, d := range w.s.data[dataOff : uint64(dataOff)+nData] {
+		mach.ReplayData(d>>1, d&1 != 0, false)
+	}
+	if dtlb != 0 {
+		mach.ChargeDataTLBMisses(dtlb)
+	}
+}
+
+// applyExt replays one ext op: the boundary action (method entry with
+// its fetch walk and AOS events, or a masked/overflowed block fetch),
+// then the body from the ext record's full-width fields.
+func (w *sumWalker) applyExt(kind uint64, x *sumExt, cacheWork bool) (done bool, err error) {
+	mach, aos := w.mach, w.aos
+	switch kind {
+	case opEnter:
+		m := w.prog.Method(program.MethodID(x.method))
+		w.frames = append(w.frames, rframe{m: m, entry: mach.Instructions()})
+		w.ids = append(w.ids, m.ID)
+		w.fetch(x, cacheWork)
+		if w.listener != nil && !w.firstEnter {
+			w.listener(x.pc, int(x.nInstrs))
+		}
+		w.firstEnter = false
+		aos.ReplayMethodEnter(m.ID)
+		if w.check && mach.Instructions() != w.start+w.batchSum {
+			return false, ErrDiverged
+		}
+
+	case opBlock:
+		w.fetch(x, cacheWork)
+		if w.listener != nil {
+			w.listener(x.pc, int(x.nInstrs))
+		}
+
+	case opExit:
+		f := w.frames[len(w.frames)-1]
+		w.frames = w.frames[:len(w.frames)-1]
+		w.ids = w.ids[:len(w.ids)-1]
+		aos.ReplayMethodExit(f.m.ID, mach.Instructions()-f.entry)
+		if w.check && mach.Instructions() != w.start+w.batchSum {
+			return false, ErrDiverged
+		}
+
+	case opHalt:
+		now := mach.Instructions()
+		for j := len(w.frames) - 1; j >= 0; j-- {
+			aos.ReplayMethodExit(w.frames[j].m.ID, now-w.frames[j].entry)
+		}
+		w.frames = w.frames[:0]
+		w.ids = w.ids[:0]
+		if w.check && now != w.start+w.batchSum {
+			return false, ErrDiverged
+		}
+
+	case opEndHalted, opEndBudget:
+		return true, nil
+	}
+
+	if x.nData > 0 {
+		if cacheWork {
+			applied := false
+			if x.fastOK && w.footOK {
+				foot := w.s.foot[x.footOff : x.footOff+uint32(x.nFoot)]
+				applied = mach.TryReplayDataFootprint(foot, uint64(x.nData), uint64(x.dtlb))
+			}
+			if !applied {
+				for _, d := range w.s.data[x.dataOff : x.dataOff+x.nData] {
+					mach.ReplayData(d>>1, d&1 != 0, false)
+				}
+				if x.dtlb != 0 {
+					mach.ChargeDataTLBMisses(uint64(x.dtlb))
+				}
+			}
+		} else if x.dtlb != 0 {
+			mach.ChargeDataTLBMisses(uint64(x.dtlb))
+		}
+	}
+	if x.batch > 0 {
+		mach.IssueBatch(x.batch)
+		w.batchSum += x.batch
+		if w.sampling {
+			aos.ReplayBatchPoll(mach.Instructions(), x.batch, w.ids)
+		}
+	}
+	if x.brWrong > 0 {
+		mach.ChargeMispredicts(uint64(x.brWrong))
+	}
+	return false, nil
+}
+
+// fetch applies an ext op's recorded fetch walk. cacheWork=false
+// replaces the recorded L1I misses' live L2 traffic with their state-
+// independent charges only (the span-parallel spine's mode — the span
+// worker simulates that L2 traffic privately).
+func (w *sumWalker) fetch(x *sumExt, cacheWork bool) {
+	if x.missMask == 0 {
+		w.mach.ReplayFetchCharges(uint64(x.nLines), uint64(bits.OnesCount64(x.tlbMask)), 0)
+		return
+	}
+	if cacheWork {
+		last := x.firstLine + uint64(x.nLines-1)*iLine
+		w.mach.ReplayFetchLines(x.firstLine, last, x.tlbMask, x.missMask)
+		return
+	}
+	w.mach.ReplayFetchCharges(uint64(x.nLines), uint64(bits.OnesCount64(x.tlbMask)), uint64(bits.OnesCount64(x.missMask)))
+}

@@ -278,6 +278,7 @@ type RunMeta struct {
 // benchmarks and at the engine's chunk boundaries.
 func (s *Server) runJob(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
 	opt := spec.options(cancel)
+	opt.IntraParallelism = s.cfg.IntraParallelism
 	if sink != nil && spec.Events {
 		opt.Sink = sink
 	}

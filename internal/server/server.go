@@ -82,6 +82,13 @@ type Config struct {
 	// MaxJobs bounds retained job records (0 = 1024); the oldest
 	// finished jobs are evicted first.
 	MaxJobs int
+	// IntraParallelism, when > 1, splits each trace replay inside a
+	// job across that many goroutines (experiment.Options.
+	// IntraParallelism). Results are bit-identical at any setting, so
+	// this is a daemon-level latency/CPU knob and deliberately not
+	// part of JobSpec — it does not enter SpecHash, and cached
+	// results remain valid across settings.
+	IntraParallelism int
 	// DataDir, when non-empty, makes the daemon crash-safe: finished
 	// results persist to a disk-backed content-addressed store under
 	// DataDir/results (write-through behind the in-memory cache, which
@@ -429,6 +436,17 @@ func (s *Server) execute(j *job) {
 			state = StateCanceled
 		}
 	}
+	// Durability before visibility: the result is cached, persisted,
+	// and journaled done before the terminal state is published, so a
+	// client that has observed StateDone may rely on the result
+	// surviving a crash-restart (the journal's lost-done recovery
+	// path depends on this ordering too — a restart racing a
+	// finishing job must find the store write already on disk).
+	if state == StateDone {
+		s.cache.put(j.hash, &cacheEntry{result: result, runs: runs})
+		s.persist(j.hash, result, runs)
+	}
+	s.markDone(j.hash)
 	j.mu.Lock()
 	j.state = state
 	j.result = result
@@ -437,11 +455,6 @@ func (s *Server) execute(j *job) {
 	j.wall = wall
 	j.mu.Unlock()
 	j.events.close()
-	if state == StateDone {
-		s.cache.put(j.hash, &cacheEntry{result: result, runs: runs})
-		s.persist(j.hash, result, runs)
-	}
-	s.markDone(j.hash)
 	s.metrics.jobFinished(state, wall, runs)
 	s.logf("job %s: %s (%.2fs, %d runs)%s", j.id, state, wall.Seconds(), len(runs), errSuffix(errMsg))
 }
