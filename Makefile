@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench bench-snapshot bench-record bench-compare replay-check tables vet fmt fmt-check cover fuzz chaos doclint server-smoke optimize-smoke crash-smoke ci clean
+.PHONY: all build test test-short bench bench-snapshot bench-record bench-compare replay-check record-check tables vet fmt fmt-check cover fuzz chaos doclint server-smoke optimize-smoke crash-smoke ci clean
 
 all: build test
 
@@ -40,24 +40,26 @@ bench-snapshot:
 # the last direct-execution record; BENCH_pr4 adds the record-once/
 # replay-many fast path; BENCH_pr8 adds the summarized-block replay
 # engine (packed op stream + fused charges), halving suite replay
-# time again and adding the BenchmarkReplay* single-trace records.
-BENCH_BASE ?= BENCH_pr3.json BENCH_pr4.json BENCH_pr8.json
+# time again and adding the BenchmarkReplay* single-trace records;
+# BENCH_pr9 adds the direct summary recorder and the BenchmarkRecord*
+# record-overhead pair.
+BENCH_BASE ?= BENCH_pr3.json BENCH_pr4.json BENCH_pr8.json BENCH_pr9.json
 
 # Diffing a fresh run against multiple old records only works with the
 # bundled comparator; benchstat reconstruction uses the newest one.
-BENCH_NEWEST ?= BENCH_pr8.json
+BENCH_NEWEST ?= BENCH_pr9.json
 
 # Re-measure the hot benchmarks and write a fresh perf record
 # (BENCH_<commit>.json) for check-in at perf-sensitive PRs.
 bench-record:
-	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$|BenchmarkReplay' -count=5 . \
+	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$|BenchmarkReplay|BenchmarkRecord' -count=5 . \
 		| $(GO) run ./cmd/benchjson -o BENCH_$$(git rev-parse --short HEAD).json
 
 # Diff current throughput against the committed records ($(BENCH_BASE)).
 # Uses benchstat when installed; otherwise the bundled benchjson
 # comparator prints the delta table and fails on a >15% regression.
 bench-compare:
-	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$|BenchmarkReplay' -count=5 . > /tmp/acedo_bench_new.txt
+	$(GO) test -run NONE -bench 'BenchmarkEngine$$|BenchmarkSuite$$|BenchmarkReplay|BenchmarkRecord' -count=5 . > /tmp/acedo_bench_new.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		$(GO) run ./cmd/benchjson -raw $(BENCH_NEWEST) > /tmp/acedo_bench_base.txt; \
 		benchstat /tmp/acedo_bench_base.txt /tmp/acedo_bench_new.txt; \
@@ -74,6 +76,13 @@ replay-check:
 	$(GO) run ./cmd/acetables -json /tmp/acedo_suite_direct.json -q -noreplay
 	cmp /tmp/acedo_suite_replay.json /tmp/acedo_suite_direct.json
 	@echo "replay-check: snapshots byte-identical"
+
+# Differential gate for the direct summary recorder: the suite's
+# snapshot must be byte-identical whether runs record through the
+# byte encoder or build the summarized op stream directly, with and
+# without a deterministic fault plan (scripts/record_check.sh).
+record-check:
+	sh scripts/record_check.sh
 
 # Regenerate every table and figure (21 simulations, ~10 s).
 tables:

@@ -18,6 +18,7 @@ import (
 	"acedo/internal/core"
 	"acedo/internal/experiment"
 	"acedo/internal/machine"
+	"acedo/internal/rtrace"
 	"acedo/internal/stats"
 	"acedo/internal/vm"
 	"acedo/internal/workload"
@@ -436,6 +437,63 @@ func BenchmarkEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := eng.Run(2_000_000); err != nil && err != vm.ErrBudget {
+			b.Fatal(err)
+		}
+		simulated += mach.Instructions()
+	}
+	b.ReportMetric(float64(simulated)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkRecord is BenchmarkEngine with the byte recorder installed:
+// the record-once overhead of the chunked delta/varint trace encoding
+// over direct execution.
+func BenchmarkRecord(b *testing.B) {
+	benchRecord(b, rtrace.FormatBytes)
+}
+
+// BenchmarkRecordSummary is BenchmarkEngine with the direct summary
+// recorder installed: the record-once overhead when the packed
+// summarized op stream is built straight from the engine's events,
+// with no byte encoding and no decode pass.
+func BenchmarkRecordSummary(b *testing.B) {
+	benchRecord(b, rtrace.FormatSummary)
+}
+
+func benchRecord(b *testing.B, format rtrace.Format) {
+	b.Helper()
+	spec, _ := acedo.BenchmarkByName("compress")
+	prog, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var simulated uint64
+	for i := 0; i < b.N; i++ {
+		mach, err := machine.New(machine.PaperConfig(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		aos := vm.NewAOS(vm.DefaultParams(), mach, prog)
+		eng, err := vm.NewEngine(prog, mach, aos)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rec interface {
+			vm.Recorder
+			Finish(halted bool) (*rtrace.Trace, error)
+		}
+		if format == rtrace.FormatBytes {
+			rec = rtrace.NewRecorder()
+		} else {
+			rec = rtrace.NewSummaryRecorder(prog, 2_000_000)
+		}
+		if err := eng.SetRecorder(rec); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(2_000_000); err != nil && err != vm.ErrBudget {
+			b.Fatal(err)
+		}
+		if _, err := rec.Finish(eng.Halted()); err != nil {
 			b.Fatal(err)
 		}
 		simulated += mach.Instructions()

@@ -40,6 +40,7 @@ type traceKey struct {
 	mach     uint64
 	maxInstr uint64
 	depth    int
+	format   rtrace.Format
 }
 
 func traceKeyFor(spec workload.Spec, opt Options) traceKey {
@@ -52,20 +53,28 @@ func traceKeyFor(spec workload.Spec, opt Options) traceKey {
 		mach:     hm.Sum64(),
 		maxInstr: opt.MaxInstr,
 		depth:    opt.VM.MaxCallDepth,
+		// The two formats replay identically, but a cached trace's
+		// DirectBuilt/Size telemetry must reflect the format the
+		// caller asked for, so they cache under separate keys.
+		format: opt.TraceFormat,
 	}
 }
 
-// traceCacheBudget bounds the process-wide trace cache. Traces are
-// compact (a few bytes per retired-batch/access event), so the default
-// suite fits in a few hundred megabytes; once the budget is reached,
-// further recordings simply aren't retained (first-come retention —
-// no eviction, keeping cached replays deterministic).
-const traceCacheBudget = 1 << 30
+// traceCacheBudget bounds the process-wide trace cache's resident
+// memory — the decoded summary arrays included, since cached traces
+// are primed for replay (rtrace.Trace.MemBytes, not just the encoded
+// bytes). Once the budget is reached, further recordings simply
+// aren't retained (first-come retention — no eviction, keeping cached
+// replays deterministic). A var only so the admission test can shrink
+// it; never mutated outside tests.
+var traceCacheBudget = 1 << 30
 
 var traceCache = struct {
 	sync.Mutex
-	m    map[traceKey]*rtrace.Trace
-	size int
+	m          map[traceKey]*rtrace.Trace
+	size       int
+	direct     uint64
+	summarized uint64
 }{m: make(map[traceKey]*rtrace.Trace)}
 
 func cachedTrace(k traceKey) *rtrace.Trace {
@@ -75,16 +84,22 @@ func cachedTrace(k traceKey) *rtrace.Trace {
 }
 
 func storeTrace(k traceKey, t *rtrace.Trace) {
+	mem := t.MemBytes()
 	traceCache.Lock()
 	defer traceCache.Unlock()
 	if _, ok := traceCache.m[k]; ok {
 		return
 	}
-	if traceCache.size+t.Size() > traceCacheBudget {
+	if traceCache.size+mem > traceCacheBudget {
 		return
 	}
 	traceCache.m[k] = t
-	traceCache.size += t.Size()
+	traceCache.size += mem
+	if t.DirectBuilt() {
+		traceCache.direct++
+	} else {
+		traceCache.summarized++
+	}
 }
 
 // resetTraceCache empties the process-wide trace cache (tests only).
@@ -93,6 +108,34 @@ func resetTraceCache() {
 	defer traceCache.Unlock()
 	traceCache.m = make(map[traceKey]*rtrace.Trace)
 	traceCache.size = 0
+	traceCache.direct = 0
+	traceCache.summarized = 0
+}
+
+// TraceCacheStats is a point-in-time view of the process-wide trace
+// cache, exported on acelabd's /metrics and in acetables -runmeta.
+type TraceCacheStats struct {
+	// Entries is the number of cached traces; Bytes their resident
+	// memory (encoded bytes plus decoded summary arrays).
+	Entries int
+	Bytes   int
+	// DirectBuilt counts cached traces whose summary was built at
+	// record time (FormatSummary); Summarized counts byte-recorded
+	// traces summarized on the decode-once path (FormatBytes).
+	DirectBuilt uint64
+	Summarized  uint64
+}
+
+// CurrentTraceCacheStats snapshots the process-wide trace cache.
+func CurrentTraceCacheStats() TraceCacheStats {
+	traceCache.Lock()
+	defer traceCache.Unlock()
+	return TraceCacheStats{
+		Entries:     len(traceCache.m),
+		Bytes:       traceCache.size,
+		DirectBuilt: traceCache.direct,
+		Summarized:  traceCache.summarized,
+	}
 }
 
 // RunSchemes runs one benchmark under several schemes with the
@@ -225,9 +268,12 @@ func ReplayScheme(spec workload.Spec, scheme Scheme, opt Options, tr *rtrace.Tra
 }
 
 // recordRun executes one run directly while capturing its
-// architectural trace. A trace the recorder could not take (or a
-// truncated run whose recording failed to finalise) yields a nil
-// trace alongside the still-valid result.
+// architectural trace in the format opt.TraceFormat selects. A trace
+// the recorder could not take (or a truncated run whose recording
+// failed to finalise) yields a nil trace alongside the still-valid
+// result. The returned trace is primed — its summary resolved against
+// the run's program — so MemBytes reflects the full replay footprint
+// at cache-admission time.
 func recordRun(spec workload.Spec, scheme Scheme, opt Options) (*Result, *rtrace.Trace, error) {
 	start := time.Now()
 	var tr *rtrace.Trace
@@ -240,7 +286,15 @@ func recordRun(spec workload.Spec, scheme Scheme, opt Options) (*Result, *rtrace
 		if err != nil {
 			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
 		}
-		rec := rtrace.NewRecorder()
+		var rec interface {
+			vm.Recorder
+			Finish(halted bool) (*rtrace.Trace, error)
+		}
+		if opt.TraceFormat == rtrace.FormatBytes {
+			rec = rtrace.NewRecorder()
+		} else {
+			rec = rtrace.NewSummaryRecorder(st.prog, opt.MaxInstr)
+		}
 		if err := eng.SetRecorder(rec); err != nil {
 			return nil, fmt.Errorf("experiment %s/%s: %w", spec.Name, scheme, err)
 		}
@@ -251,6 +305,7 @@ func recordRun(spec workload.Spec, scheme Scheme, opt Options) (*Result, *rtrace
 			return nil, err
 		}
 		if t, ferr := rec.Finish(eng.Halted()); ferr == nil {
+			t.Prime(st.prog)
 			tr = t
 		}
 		return st.finish(), nil
@@ -316,7 +371,7 @@ func emitDisposition(opt Options, spec workload.Spec, scheme Scheme, res *Result
 	if opt.Sink == nil {
 		return
 	}
-	e := telemetry.Replay(disposition, reason, tr.Events(), uint64(tr.Size()))
+	e := telemetry.Replay(disposition, reason, tr.Events(), uint64(tr.MemBytes()))
 	e.Instr = res.Instr
 	telemetry.WithRunLabels(opt.Sink, spec.Name, scheme.String()).Emit(e)
 }

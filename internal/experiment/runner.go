@@ -24,6 +24,7 @@ import (
 	"acedo/internal/fault"
 	"acedo/internal/machine"
 	"acedo/internal/program"
+	"acedo/internal/rtrace"
 	"acedo/internal/telemetry"
 	"acedo/internal/vm"
 	"acedo/internal/workload"
@@ -147,6 +148,16 @@ type Options struct {
 	// trades wall-clock time for paranoia. Single-run Run calls
 	// always execute directly.
 	NoReplay bool
+
+	// TraceFormat selects the vm.Recorder implementation recording
+	// runs install: rtrace.FormatSummary (the zero value) builds the
+	// packed summarized op stream directly at record time, while
+	// rtrace.FormatBytes keeps the delta/varint byte encoder and
+	// summarizes lazily on first replay. Both formats replay
+	// bit-identically (the record-check gate diffs their snapshots),
+	// so — like IntraParallelism — the knob is a pure performance
+	// choice and deliberately stays out of job identity hashes.
+	TraceFormat rtrace.Format
 }
 
 // DefaultOptions returns the standard experiment configuration at the

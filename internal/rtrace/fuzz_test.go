@@ -1,7 +1,9 @@
 package rtrace
 
 import (
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -35,14 +37,124 @@ func fuzzEnv(t *testing.T) Env {
 	return Env{Prog: fuzzProg, Mach: mach, AOS: vm.NewAOS(vm.DefaultParams(), mach, fuzzProg)}
 }
 
-// FuzzTraceDecode feeds arbitrary bytes to both replay engines as a
-// single-chunk trace. The contract under hostile input: never panic,
-// fail only with ErrMalformed or ErrDiverged, agree with the oracle on
-// success/failure, and — when both paths accept the stream — leave
-// machines in bit-identical states. (Error classes may legitimately
-// differ on invalid streams: the summarizer validates the whole stream
-// before applying anything, so it can report a late encoding error
-// where the exact path already stopped at an earlier divergence.)
+// driveDirect re-decodes a byte stream into vm.Recorder calls on a
+// fresh SummaryRecorder — summarize's decode loop re-cast as the
+// engine callbacks the direct recorder would have received — and
+// returns the direct-built trace. It fails exactly where summarize
+// fails (bad operands, missing end marker, events the builder
+// rejects), making the direct path fuzzable against the decode-once
+// path on arbitrary streams, not just engine-generated ones.
+func driveDirect(data []byte) (*Trace, error) {
+	r := NewSummaryRecorder(fuzzProg, 0)
+	var prevAddr uint64
+	pos := 0
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	for pos < len(data) {
+		opByte := data[pos]
+		pos++
+		kind := opByte & 7
+		pay := uint64(opByte >> 3)
+
+		switch kind {
+		case kBlock, kBatch, kEnter:
+			if pay == payloadEscape {
+				v, ok := uv()
+				if !ok {
+					return nil, fmt.Errorf("bad operand at pos %d", pos)
+				}
+				pay = v
+			}
+		}
+
+		switch kind {
+		case kBatch:
+			r.RecordBatch(pay)
+
+		case kData:
+			write := pay & 1
+			delta := pay >> 1
+			if delta == 15 {
+				v, ok := uv()
+				if !ok {
+					return nil, fmt.Errorf("bad data delta at pos %d", pos)
+				}
+				delta = v
+			}
+			addr := uint64(int64(prevAddr) + unzigzag(delta))
+			prevAddr = addr
+			r.RecordData(addr, write != 0, false)
+
+		case kBranch:
+			r.RecordBranch(pay&1 != 0)
+
+		case kBlock:
+			r.RecordBlock(int(pay), 0, 0, true)
+
+		case kEnter:
+			r.RecordEnter(program.MethodID(pay), 0, 0, true)
+
+		case kExit:
+			r.RecordExit()
+
+		case kHalt:
+			r.RecordHalt()
+
+		case kExt:
+			switch pay {
+			case extEndHalted:
+				return r.Finish(true)
+			case extEndBudget:
+				return r.Finish(false)
+
+			case extBlockMasks, extEnterMasks:
+				v, ok := uv()
+				tlbMask, ok2 := uv()
+				missMask, ok3 := uv()
+				if !ok || !ok2 || !ok3 {
+					return nil, fmt.Errorf("bad masked entry at pos %d", pos)
+				}
+				if pay == extBlockMasks {
+					r.RecordBlock(int(v), tlbMask, missMask, true)
+				} else {
+					r.RecordEnter(program.MethodID(v), tlbMask, missMask, true)
+				}
+
+			case extDataTLB:
+				w, ok := uv()
+				delta, ok2 := uv()
+				if !ok || !ok2 {
+					return nil, fmt.Errorf("bad D-TLB data access at pos %d", pos)
+				}
+				addr := uint64(int64(prevAddr) + unzigzag(delta))
+				prevAddr = addr
+				r.RecordData(addr, w&1 != 0, true)
+
+			default:
+				return nil, fmt.Errorf("unknown extended event %d", pay)
+			}
+		}
+	}
+	return nil, fmt.Errorf("missing end marker")
+}
+
+// FuzzTraceDecode is a three-way differential: arbitrary bytes feed
+// (1) the exact byte-replay oracle, (2) the decode-once summarizer,
+// and (3) the direct summary recorder, driven with the recorder calls
+// the decoded stream implies. The contract under hostile input: never
+// panic, fail only with ErrMalformed or ErrDiverged, agree on
+// accept/reject across all paths, build op-for-op identical summaries
+// on both construction paths, and leave machines in bit-identical
+// states on success. (Error classes may legitimately differ on
+// invalid streams: the summarizer validates the whole stream before
+// applying anything, so it can report a late encoding error where the
+// exact path already stopped at an earlier divergence.)
 func FuzzTraceDecode(f *testing.F) {
 	// Seeds: an empty stream, lone end markers, a tiny valid stream, a
 	// truncated stream, escaped operands, masked entries, and garbage.
@@ -69,10 +181,24 @@ func FuzzTraceDecode(f *testing.F) {
 		// the sampler legitimately settles batch/interval deliveries —
 		// hours of looping for a 12-byte input, on every engine
 		// including the oracle. Decode once up front (the summarizer
-		// mirrors the oracle's decoder, so its per-op totals cover
-		// exactly the prefix the oracle would execute) and skip streams
-		// whose batch total no real recording could reach.
-		if s := summarize(mk(), fuzzProg); s != nil && s.totalBatch() > 10_000_000 {
+		// mirrors the oracle's decoder, and totalBatch counts every
+		// decoded batch — even one in an op a malformed tail never
+		// commits — so it covers exactly the prefix the oracle would
+		// execute) and skip streams whose batch total no real recording
+		// could reach.
+		// Construction-path differential (cheap — no machine): the
+		// direct recorder must accept exactly the streams the
+		// summarizer accepts and build the identical summary.
+		s := summarize(mk(), fuzzProg)
+		directTr, directErr := driveDirect(data)
+		if (s.err == nil) != (directErr == nil) {
+			t.Fatalf("construction disagreement: summarize err=%v, direct err=%v", s.err, directErr)
+		}
+		if directErr == nil {
+			checkSameSummary(t, "direct-vs-summarize", s, directTr.summaryFor(fuzzProg))
+		}
+
+		if s.totalBatch() > 10_000_000 {
 			t.Skip("absurd batch total")
 		}
 		okErr := func(label string, err error) {

@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"acedo/internal/program"
+	"acedo/internal/vm"
 )
 
 // Event kinds (opcode byte low 3 bits).
@@ -79,6 +80,11 @@ type Trace struct {
 	events    uint64
 	size      int
 	truncated bool
+
+	// direct marks a trace captured by SummaryRecorder: no byte
+	// encoding exists (chunks empty, size 0) and sumState holds the
+	// summary built at record time.
+	direct bool
 
 	// sumState caches the trace's decoded summary (built lazily on
 	// first replay; see summary.go). Behind a pointer so sealed Trace
@@ -250,6 +256,24 @@ func (r *Recorder) RecordBranch(correct bool) {
 		c = 1
 	}
 	r.cur = append(r.cur, kBranch|c<<3)
+}
+
+// RecordBody records one fast-path block body in a single call
+// (vm.Recorder), encoding exactly the events the per-call form would:
+// the packed data accesses, the retire batch, then the terminating
+// branch verdict — so the byte stream is identical however the engine
+// chose to report the body.
+func (r *Recorder) RecordBody(data []uint64, n uint64, branch int8) {
+	for _, d := range data {
+		r.RecordData(d>>2, d&1 != 0, d&2 != 0)
+	}
+	r.RecordBatch(n)
+	switch branch {
+	case vm.BranchCorrect:
+		r.RecordBranch(true)
+	case vm.BranchWrong:
+		r.RecordBranch(false)
+	}
 }
 
 // RecordExit records a method return (vm.Recorder).

@@ -73,6 +73,12 @@ const (
 	opBrMax    = 1<<8 - 1
 	opBatchMax = 1<<19 - 1
 	opInstrMax = 1<<8 - 1 // block instr count packable into the pc stream
+
+	// maxPackedPC bounds the block-start pc packable into the 32-bit
+	// pc stream alongside the 8-bit instr count; blocks beyond it (no
+	// suite program comes near) are stored as ext records, which carry
+	// the full-width pc.
+	maxPackedPC = 1<<24 - 1
 )
 
 // sumOp is one boundary event plus its aggregated body, packed into 16
@@ -114,33 +120,23 @@ type sumExt struct {
 // replay of the trace.
 type summary struct {
 	ops     []sumOp
-	pcs     []uint64 // per packed block op: pc<<8 | nInstrs (listener replays only)
+	pcs     []uint32 // per packed block op: pc<<8 | nInstrs (listener replays only)
 	ext     []sumExt
 	data    []uint64 // wordAddr<<1 | write bit, in access order
 	foot    []cache.FootLine
 	err     error // non-nil: the byte stream is malformed
+	retired uint64
 	progSig uint64
 }
 
-// totalBatch sums every op's retired-instruction total, saturating on
-// overflow (fuzz-harness helper: hostile uvarint batches can encode
-// near-2^64 totals).
+// totalBatch is the summary's retired-instruction grand total,
+// saturating on overflow (fuzz-harness helper: hostile uvarint batches
+// can encode near-2^64 totals). The builder accumulates it at decode
+// time rather than summing committed ops, so it also counts batches in
+// an open op a malformed tail never commits — exactly the batches the
+// streaming exact replay issues before it hits the bad tail.
 func (s *summary) totalBatch() uint64 {
-	var sum uint64
-	for i := range s.ops {
-		o := &s.ops[i]
-		var b uint64
-		if o.w&opExtBit != 0 {
-			b = s.ext[o.d].batch
-		} else {
-			b = o.w >> opBatchShift
-		}
-		if sum+b < sum {
-			return ^uint64(0)
-		}
-		sum += b
-	}
-	return sum
+	return s.retired
 }
 
 // sumState hangs the lazily built summary off a Trace behind a
@@ -209,182 +205,442 @@ func (t *Trace) summaryFor(prog *program.Program) *summary {
 }
 
 // opBuild accumulates one op's boundary fields and body aggregates
-// before it is committed as a packed op or an ext record.
+// before it is committed as a packed op or an ext record. The open
+// block's geometry is captured by value at the boundary (blkLines is 0
+// when no block is open) so the struct stays pointer-free — it is
+// reset on every boundary event, and a pointer field would cost a GC
+// write barrier per block on the record hot path.
 type opBuild struct {
-	kind     uint8
-	method   int32
-	blk      *program.Block
-	tlbMask  uint64
-	missMask uint64
-	batch    uint64
-	dtlb     uint32
-	brWrong  uint32
+	kind uint8
+	// esc precomputes the boundary-time ext conditions (method
+	// identity, fetch masks, geometry overflow) so the commit fast
+	// lane only re-checks the body-dependent ones.
+	esc       bool
+	method    int32
+	blkInstrs uint32
+	pcWord    uint32 // packed pc<<8|nInstrs; 0 when no block is open
+	blkLines  uint64 // I-lines in the fetch walk; 0 = no open block
+	blkFirst  uint64
+	blkPC     uint64
+	tlbMask   uint64
+	missMask  uint64
+	batch     uint64
+	dtlb      uint32
+	brWrong   uint32
 }
 
-// summarize decodes the whole byte stream once, mirroring
-// ReplayExact's decoder exactly: the same operand forms, the same
-// validation, the same frame tracking for block-index resolution. A
-// malformed stream yields a summary carrying the error Replay
+// blkGeom is a block's geometry precomputed once per builder: the
+// fetch-walk line count, the packed pc word, and whether any of it
+// overflows the packed-op fields (esc forces the ext form). Programs
+// are a few hundred blocks, so the table costs nothing next to the
+// millions of boundary events it serves.
+type blkGeom struct {
+	lines  uint64
+	first  uint64
+	pc     uint64
+	instrs uint32
+	pcWord uint32 // pc<<8 | nInstrs; 0 when esc
+	esc    bool
+}
+
+// clampMasks clamps recorded fetch masks to the block's line count:
+// the per-line walk (ReplayFetchLines) never consults bits at or above
+// nLines, so clamping keeps the bulk popcount charges identical to the
+// exact walk even on hostile hand-built traces. Engine-produced masks
+// only ever set in-range bits, so this is the identity on real
+// recordings.
+func clampMasks(nLines, tlbMask, missMask uint64) (uint64, uint64) {
+	if tlbMask|missMask == 0 {
+		return 0, 0
+	}
+	if nLines < 64 {
+		clamp := uint64(1)<<nLines - 1
+		return tlbMask & clamp, missMask & clamp
+	}
+	return tlbMask, missMask
+}
+
+// sumBuilder is the single construction path for summaries: the same
+// boundary/body state machine is fed either by the decode-once
+// summarizer (summarize, walking the byte stream) or by the direct
+// recorder (SummaryRecorder, driven straight from the engine's event
+// callbacks). Sharing the machine is what makes the two paths
+// structurally incapable of drifting apart: a boundary event commits
+// the open op via next(), body events accumulate into open/body, and
+// emit() decides packed-vs-ext identically regardless of who called.
+type sumBuilder struct {
+	s      *summary
+	prog   *program.Program
+	geo    [][]blkGeom // per method, per block: precomputed geometry
+	curGeo []blkGeom   // geo of the current frame's method; nil outside
+	stack  []*program.Method
+	cur    *program.Method
+	open   opBuild
+	body   []uint64 // current op's data accesses, wordAddr<<1|write
+}
+
+func (b *sumBuilder) init(prog *program.Program, opGuess int) {
+	b.s = &summary{
+		progSig: progSigOf(prog),
+		ops:     make([]sumOp, 0, opGuess),
+		pcs:     make([]uint32, 0, opGuess),
+	}
+	b.prog = prog
+	b.open = opBuild{kind: opSeq, method: -1}
+	b.geo = make([][]blkGeom, prog.NumMethods())
+	for i := range b.geo {
+		m := prog.Method(program.MethodID(i))
+		gs := make([]blkGeom, len(m.Blocks))
+		for j, blk := range m.Blocks {
+			g := &gs[j]
+			g.lines = (blk.LastLine-blk.FirstLine)/iLine + 1
+			g.first = blk.FirstLine
+			g.pc = blk.PC
+			g.instrs = uint32(len(blk.Instrs))
+			g.esc = g.lines > opLinesMax || g.instrs > opInstrMax || g.pc > maxPackedPC
+			if !g.esc {
+				g.pcWord = uint32(g.pc<<8 | uint64(g.instrs))
+			}
+		}
+		b.geo[i] = gs
+	}
+}
+
+// footprintOf appends the body's distinct-line footprint — each
+// line with the ordinal of its last access and the OR of its writes
+// — returning false when it exceeds cache.MaxFootprint (the body
+// then stays exact-only).
+func (b *sumBuilder) footprintOf() (uint8, bool) {
+	s := b.s
+	base := len(s.foot)
+	for i, d := range b.body {
+		line := ((d >> 1) * 8) &^ (iLine - 1)
+		write := d&1 != 0
+		found := false
+		for j := base; j < len(s.foot); j++ {
+			if s.foot[j].Addr == line {
+				s.foot[j].Ordinal = uint32(i + 1)
+				if write {
+					s.foot[j].Write = true
+				}
+				found = true
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		if len(s.foot)-base >= cache.MaxFootprint {
+			s.foot = s.foot[:base]
+			return 0, false
+		}
+		s.foot = append(s.foot, cache.FootLine{Addr: line, Ordinal: uint32(i + 1), Write: write})
+	}
+	return uint8(len(s.foot) - base), true
+}
+
+// addBatch accumulates a retire batch into the open op and the
+// summary's saturating grand total. Both construction paths route
+// batches through here so totalBatch covers even an op the stream
+// never commits.
+func (b *sumBuilder) addBatch(n uint64) {
+	b.open.batch += n
+	if b.s.retired+n < b.s.retired {
+		b.s.retired = ^uint64(0)
+	} else {
+		b.s.retired += n
+	}
+}
+
+// growOps doubles the op/pc streams' shared capacity. Explicit
+// doubling (instead of append's large-slice growth factor) keeps the
+// total bytes ever copied proportional to the final stream size — the
+// streams are the record hot path's biggest arrays.
+func (b *sumBuilder) growOps() {
+	c := 2 * cap(b.s.ops)
+	ops := make([]sumOp, len(b.s.ops), c)
+	copy(ops, b.s.ops)
+	b.s.ops = ops
+	pcs := make([]uint32, len(b.s.pcs), c)
+	copy(pcs, b.s.pcs)
+	b.s.pcs = pcs
+}
+
+// growData ensures the data table can absorb the current body,
+// doubling (at least) on exhaustion.
+func (b *sumBuilder) growData(need int) {
+	c := 2 * cap(b.s.data)
+	if c < need {
+		c = need
+	}
+	if c < 1024 {
+		c = 1024
+	}
+	data := make([]uint64, len(b.s.data), c)
+	copy(data, b.s.data)
+	b.s.data = data
+}
+
+// emit commits the open op: packed when every field fits and no
+// ext-only feature (method identity, fetch masks) is involved, an
+// ext record otherwise.
+func (b *sumBuilder) emit() {
+	s, open := b.s, &b.open
+	nData := uint32(len(b.body))
+	blkLines := open.blkLines
+	nInstrs := open.blkInstrs
+	blkPC := open.blkPC
+	if blkLines == 0 {
+		// No open block: the geometry fields may hold stale values
+		// from the fast lanes' partial resets (they are dead while
+		// blkLines is 0, but must not leak into ext records or the
+		// ext decision).
+		nInstrs, blkPC = 0, 0
+	}
+	if len(s.ops) == cap(s.ops) {
+		b.growOps()
+	}
+	if len(s.data)+int(nData) > cap(s.data) {
+		b.growData(len(s.data) + int(nData))
+	}
+	// fastOK only ever holds for multi-access bodies: single
+	// accesses replay directly (an empty footprint would bulk-
+	// "apply" vacuously, charging energy without touching the
+	// cache), and footprintOf reports overflow for the rest.
+	var nFoot uint8
+	var fastOK bool
+	if nData >= 2 {
+		nFoot, fastOK = b.footprintOf()
+	}
+	ext := open.method >= 0 || open.tlbMask != 0 || open.missMask != 0 ||
+		blkLines > opLinesMax || nData > opDataMax ||
+		open.dtlb > opTLBMax || open.brWrong > opBrMax ||
+		open.batch > opBatchMax || nInstrs > opInstrMax ||
+		blkPC > maxPackedPC ||
+		(nData == 1 && open.dtlb > 1)
+	if ext {
+		x := sumExt{
+			batch:    open.batch,
+			tlbMask:  open.tlbMask,
+			missMask: open.missMask,
+			dataOff:  uint32(len(s.data)),
+			footOff:  uint32(len(s.foot)) - uint32(nFoot),
+			nData:    nData,
+			nInstrs:  nInstrs,
+			dtlb:     open.dtlb,
+			brWrong:  open.brWrong,
+			method:   open.method,
+			nLines:   uint16(blkLines),
+			nFoot:    nFoot,
+			fastOK:   fastOK,
+		}
+		if blkLines != 0 {
+			x.firstLine = open.blkFirst
+			x.pc = open.blkPC
+		}
+		s.data = append(s.data, b.body...)
+		s.ops = append(s.ops, sumOp{
+			w: uint64(open.kind) | opExtBit,
+			d: uint64(len(s.ext)),
+		})
+		s.pcs = append(s.pcs, 0)
+		s.ext = append(s.ext, x)
+	} else {
+		w := uint64(open.kind) |
+			blkLines<<opLinesShift |
+			uint64(nFoot)<<opFootShift |
+			uint64(nData)<<opDataShift |
+			uint64(open.dtlb)<<opTLBShift |
+			uint64(open.brWrong)<<opBrShift |
+			open.batch<<opBatchShift
+		if fastOK {
+			w |= opFastBit
+		}
+		var d uint64
+		switch {
+		case nData == 1:
+			d = b.body[0]
+		case nData >= 2:
+			d = uint64(uint32(len(s.data))) | uint64(uint32(len(s.foot))-uint32(nFoot))<<32
+			s.data = append(s.data, b.body...)
+		}
+		var pc uint32
+		if blkLines != 0 {
+			pc = uint32(blkPC<<8 | uint64(nInstrs))
+		}
+		s.ops = append(s.ops, sumOp{w: w, d: d})
+		s.pcs = append(s.pcs, pc)
+	}
+	b.body = b.body[:0]
+}
+
+// next commits the open op and opens the next one at a boundary event.
+// The overwhelmingly common op — an unmasked intra-method block with at
+// most one data access and in-range counts — commits through an inline
+// fast lane producing exactly emit's packed form: esc pre-checks every
+// boundary-time ext condition, dtlb ≤ nData holds structurally (every
+// dtlb increment is paired with a body append), and nFoot/fastOK are
+// identically zero below two accesses.
+func (b *sumBuilder) next(kind uint8) {
+	o := &b.open
+	if !o.esc && len(b.body) < 2 && o.batch <= opBatchMax && o.brWrong <= opBrMax {
+		s := b.s
+		if len(s.ops) == cap(s.ops) {
+			b.growOps()
+		}
+		w := uint64(o.kind) |
+			o.blkLines<<opLinesShift |
+			uint64(len(b.body))<<opDataShift |
+			uint64(o.dtlb)<<opTLBShift |
+			uint64(o.brWrong)<<opBrShift |
+			o.batch<<opBatchShift
+		var d uint64
+		if len(b.body) == 1 {
+			d = b.body[0]
+			b.body = b.body[:0]
+		}
+		s.ops = append(s.ops, sumOp{w: w, d: d})
+		s.pcs = append(s.pcs, o.pcWord)
+		// Partial reset: !esc guarantees method is -1 and both masks
+		// are 0 already, and blkInstrs/blkFirst/blkPC are dead while
+		// blkLines is 0 (setBlock rewrites them all together), so only
+		// the body aggregates and the block markers need clearing.
+		o.kind = kind
+		o.pcWord = 0
+		o.blkLines = 0
+		o.batch = 0
+		o.dtlb = 0
+		o.brWrong = 0
+		return
+	}
+	b.emit()
+	b.open = opBuild{kind: kind, method: -1}
+}
+
+// enter opens an opEnter boundary for method id, clamping the
+// recorded fetch masks to the entry block's line range.
+func (b *sumBuilder) enter(id, tlbMask, missMask uint64) error {
+	if id >= uint64(b.prog.NumMethods()) {
+		return fmt.Errorf("%w: method %d out of range", ErrMalformed, id)
+	}
+	m := b.prog.Method(program.MethodID(id))
+	b.stack = append(b.stack, m)
+	b.cur = m
+	b.curGeo = b.geo[id]
+	b.next(opEnter)
+	b.open.method = int32(id)
+	b.setBlock(&b.curGeo[0], tlbMask, missMask)
+	return nil
+}
+
+// setBlock installs a block's precomputed geometry as the open op's
+// and clamps the recorded fetch masks to its line count.
+func (b *sumBuilder) setBlock(g *blkGeom, tlbMask, missMask uint64) {
+	o := &b.open
+	o.blkLines = g.lines
+	o.blkInstrs = g.instrs
+	o.blkFirst = g.first
+	o.blkPC = g.pc
+	o.pcWord = g.pcWord
+	o.tlbMask, o.missMask = clampMasks(g.lines, tlbMask, missMask)
+	o.esc = o.method >= 0 || o.tlbMask|o.missMask != 0 || g.esc
+}
+
+// block opens an opBlock boundary for the current method's block idx.
+// The ubiquitous case — unmasked fetch, plain geometry, a short body
+// on the op being committed — runs fused: one inline commit-and-reopen
+// producing exactly what next()+setBlock would, without the calls.
+func (b *sumBuilder) block(idx, tlbMask, missMask uint64) error {
+	if idx >= uint64(len(b.curGeo)) {
+		return fmt.Errorf("%w: block %d out of range", ErrMalformed, idx)
+	}
+	o := &b.open
+	g := &b.curGeo[idx]
+	if tlbMask|missMask == 0 && !g.esc && !o.esc && len(b.body) < 2 &&
+		o.batch <= opBatchMax && o.brWrong <= opBrMax {
+		s := b.s
+		if len(s.ops) == cap(s.ops) {
+			b.growOps()
+		}
+		w := uint64(o.kind) |
+			o.blkLines<<opLinesShift |
+			uint64(len(b.body))<<opDataShift |
+			uint64(o.dtlb)<<opTLBShift |
+			uint64(o.brWrong)<<opBrShift |
+			o.batch<<opBatchShift
+		var d uint64
+		if len(b.body) == 1 {
+			d = b.body[0]
+			b.body = b.body[:0]
+		}
+		s.ops = append(s.ops, sumOp{w: w, d: d})
+		s.pcs = append(s.pcs, o.pcWord)
+		o.kind = opBlock
+		o.blkLines = g.lines
+		o.blkInstrs = g.instrs
+		o.blkFirst = g.first
+		o.blkPC = g.pc
+		o.pcWord = g.pcWord
+		o.batch = 0
+		o.dtlb = 0
+		o.brWrong = 0
+		return nil
+	}
+	b.next(opBlock)
+	b.setBlock(g, tlbMask, missMask)
+	return nil
+}
+
+// exit opens an opExit boundary, popping the frame stack.
+func (b *sumBuilder) exit() error {
+	if len(b.stack) == 0 {
+		return fmt.Errorf("%w: exit with empty frame stack", ErrMalformed)
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	if len(b.stack) > 0 {
+		b.cur = b.stack[len(b.stack)-1]
+		b.curGeo = b.geo[b.cur.ID]
+	} else {
+		b.cur = nil
+		b.curGeo = nil
+	}
+	b.next(opExit)
+	return nil
+}
+
+// halt opens an opHalt boundary, unwinding the frame stack.
+func (b *sumBuilder) halt() {
+	b.stack = b.stack[:0]
+	b.cur = nil
+	b.curGeo = nil
+	b.next(opHalt)
+}
+
+// end commits the final op and appends the end-marker op itself.
+func (b *sumBuilder) end(halted bool) {
+	if halted {
+		b.next(opEndHalted)
+	} else {
+		b.next(opEndBudget)
+	}
+	b.emit()
+}
+
+// summarize decodes the whole byte stream once into a sumBuilder,
+// mirroring ReplayExact's decoder exactly: the same operand forms, the
+// same validation, the same frame tracking for block-index resolution.
+// A malformed stream yields a summary carrying the error Replay
 // reports, so the byte path and the summarized path fail the same
 // traces.
 func summarize(t *Trace, prog *program.Program) *summary {
 	// ~4.5 encoded bytes per boundary event across the suite's traces:
 	// sizing the op stream up front keeps the build out of append's
 	// copy-doubling regime.
-	opGuess := t.size/4 + 16
-	s := &summary{
-		progSig: progSigOf(prog),
-		ops:     make([]sumOp, 0, opGuess),
-		pcs:     make([]uint64, 0, opGuess),
-	}
+	var b sumBuilder
+	b.init(prog, t.size/4+16)
+	s := b.s
 
-	var stack []*program.Method
-	var cur *program.Method
 	var prevAddr uint64
-
-	open := opBuild{kind: opSeq, method: -1}
-	var body []uint64 // current op's data accesses, wordAddr<<1|write
-
-	// footprintOf appends the body's distinct-line footprint — each
-	// line with the ordinal of its last access and the OR of its writes
-	// — returning false when it exceeds cache.MaxFootprint (the body
-	// then stays exact-only).
-	footprintOf := func() (uint8, bool) {
-		base := len(s.foot)
-		for i, d := range body {
-			line := ((d >> 1) * 8) &^ (iLine - 1)
-			write := d&1 != 0
-			found := false
-			for j := base; j < len(s.foot); j++ {
-				if s.foot[j].Addr == line {
-					s.foot[j].Ordinal = uint32(i + 1)
-					if write {
-						s.foot[j].Write = true
-					}
-					found = true
-					break
-				}
-			}
-			if found {
-				continue
-			}
-			if len(s.foot)-base >= cache.MaxFootprint {
-				s.foot = s.foot[:base]
-				return 0, false
-			}
-			s.foot = append(s.foot, cache.FootLine{Addr: line, Ordinal: uint32(i + 1), Write: write})
-		}
-		return uint8(len(s.foot) - base), true
-	}
-
-	// emit commits the open op: packed when every field fits and no
-	// ext-only feature (method identity, fetch masks) is involved, an
-	// ext record otherwise.
-	emit := func() {
-		nData := uint32(len(body))
-		var blkLines uint64
-		var nInstrs uint32
-		if open.blk != nil {
-			blkLines = (open.blk.LastLine-open.blk.FirstLine)/iLine + 1
-			nInstrs = uint32(len(open.blk.Instrs))
-		}
-		// fastOK only ever holds for multi-access bodies: single
-		// accesses replay directly (an empty footprint would bulk-
-		// "apply" vacuously, charging energy without touching the
-		// cache), and footprintOf reports overflow for the rest.
-		var nFoot uint8
-		var fastOK bool
-		if nData >= 2 {
-			nFoot, fastOK = footprintOf()
-		}
-		ext := open.method >= 0 || open.tlbMask != 0 || open.missMask != 0 ||
-			blkLines > opLinesMax || nData > opDataMax ||
-			open.dtlb > opTLBMax || open.brWrong > opBrMax ||
-			open.batch > opBatchMax || nInstrs > opInstrMax ||
-			(nData == 1 && open.dtlb > 1)
-		if ext {
-			x := sumExt{
-				batch:    open.batch,
-				tlbMask:  open.tlbMask,
-				missMask: open.missMask,
-				dataOff:  uint32(len(s.data)),
-				footOff:  uint32(len(s.foot)) - uint32(nFoot),
-				nData:    nData,
-				nInstrs:  nInstrs,
-				dtlb:     open.dtlb,
-				brWrong:  open.brWrong,
-				method:   open.method,
-				nLines:   uint16(blkLines),
-				nFoot:    nFoot,
-				fastOK:   fastOK,
-			}
-			if open.blk != nil {
-				x.firstLine = open.blk.FirstLine
-				x.pc = open.blk.PC
-			}
-			s.data = append(s.data, body...)
-			s.ops = append(s.ops, sumOp{
-				w: uint64(open.kind) | opExtBit,
-				d: uint64(len(s.ext)),
-			})
-			s.pcs = append(s.pcs, 0)
-			s.ext = append(s.ext, x)
-		} else {
-			w := uint64(open.kind) |
-				blkLines<<opLinesShift |
-				uint64(nFoot)<<opFootShift |
-				uint64(nData)<<opDataShift |
-				uint64(open.dtlb)<<opTLBShift |
-				uint64(open.brWrong)<<opBrShift |
-				open.batch<<opBatchShift
-			if fastOK {
-				w |= opFastBit
-			}
-			var d, pc uint64
-			switch {
-			case nData == 1:
-				d = body[0]
-			case nData >= 2:
-				d = uint64(uint32(len(s.data))) | uint64(uint32(len(s.foot))-uint32(nFoot))<<32
-				s.data = append(s.data, body...)
-			}
-			if open.blk != nil {
-				pc = open.blk.PC<<8 | uint64(nInstrs)
-			}
-			s.ops = append(s.ops, sumOp{w: w, d: d})
-			s.pcs = append(s.pcs, pc)
-		}
-		body = body[:0]
-	}
-
-	next := func(kind uint8) {
-		emit()
-		open = opBuild{kind: kind, method: -1}
-	}
-
-	enter := func(id, tlbMask, missMask uint64) error {
-		if id >= uint64(prog.NumMethods()) {
-			return fmt.Errorf("%w: method %d out of range", ErrMalformed, id)
-		}
-		m := prog.Method(program.MethodID(id))
-		stack = append(stack, m)
-		cur = m
-		next(opEnter)
-		open.method = int32(id)
-		open.blk = m.Blocks[0]
-		open.tlbMask, open.missMask = tlbMask, missMask
-		return nil
-	}
-
-	block := func(idx, tlbMask, missMask uint64) error {
-		if cur == nil || idx >= uint64(len(cur.Blocks)) {
-			return fmt.Errorf("%w: block %d out of range", ErrMalformed, idx)
-		}
-		next(opBlock)
-		open.blk = cur.Blocks[idx]
-		open.tlbMask, open.missMask = tlbMask, missMask
-		return nil
-	}
 
 	fail := func(err error) *summary {
 		s.err = err
@@ -414,7 +670,7 @@ func summarize(t *Trace, prog *program.Program) *summary {
 
 			switch kind {
 			case kBatch:
-				open.batch += pay
+				b.addBatch(pay)
 
 			case kData:
 				write := pay & 1
@@ -429,49 +685,38 @@ func summarize(t *Trace, prog *program.Program) *summary {
 				}
 				addr := uint64(int64(prevAddr) + unzigzag(delta))
 				prevAddr = addr
-				body = append(body, addr<<1|write)
+				b.body = append(b.body, addr<<1|write)
 
 			case kBranch:
 				if pay&1 == 0 {
-					open.brWrong++
+					b.open.brWrong++
 				}
 
 			case kBlock:
-				if err := block(pay, 0, 0); err != nil {
+				if err := b.block(pay, 0, 0); err != nil {
 					return fail(err)
 				}
 
 			case kEnter:
-				if err := enter(pay, 0, 0); err != nil {
+				if err := b.enter(pay, 0, 0); err != nil {
 					return fail(err)
 				}
 
 			case kExit:
-				if len(stack) == 0 {
-					return fail(fmt.Errorf("%w: exit with empty frame stack", ErrMalformed))
+				if err := b.exit(); err != nil {
+					return fail(err)
 				}
-				stack = stack[:len(stack)-1]
-				if len(stack) > 0 {
-					cur = stack[len(stack)-1]
-				} else {
-					cur = nil
-				}
-				next(opExit)
 
 			case kHalt:
-				stack = stack[:0]
-				cur = nil
-				next(opHalt)
+				b.halt()
 
 			case kExt:
 				switch pay {
 				case extEndHalted:
-					next(opEndHalted)
-					emit()
+					b.end(true)
 					return s
 				case extEndBudget:
-					next(opEndBudget)
-					emit()
+					b.end(false)
 					return s
 
 				case extBlockMasks, extEnterMasks:
@@ -490,34 +735,16 @@ func summarize(t *Trace, prog *program.Program) *summary {
 						return fail(fmt.Errorf("%w: bad L1I mask", ErrMalformed))
 					}
 					pos += n
-					// Clamp the masks to the block's line count: the
-					// per-line walk (ReplayFetchLines) never consults
-					// bits at or above nLines, so clamping keeps the
-					// bulk popcount charges identical to the exact walk
-					// even on hostile hand-built traces.
-					clampMasks := func(b *program.Block) (uint64, uint64) {
-						nLines := (b.LastLine-b.FirstLine)/iLine + 1
-						if nLines < 64 {
-							clamp := uint64(1)<<nLines - 1
-							return tlbMask & clamp, missMask & clamp
-						}
-						return tlbMask, missMask
-					}
+					// Mask clamping happens inside enter/block
+					// (clampMasks), after the same range validation
+					// the unmasked forms get.
 					if pay == extBlockMasks {
-						if cur == nil || v >= uint64(len(cur.Blocks)) {
-							return fail(fmt.Errorf("%w: block %d out of range", ErrMalformed, v))
-						}
-						tm, mm := clampMasks(cur.Blocks[v])
-						if err := block(v, tm, mm); err != nil {
+						if err := b.block(v, tlbMask, missMask); err != nil {
 							return fail(err)
 						}
 						break
 					}
-					if v >= uint64(prog.NumMethods()) {
-						return fail(fmt.Errorf("%w: method %d out of range", ErrMalformed, v))
-					}
-					tm, mm := clampMasks(prog.Method(program.MethodID(v)).Blocks[0])
-					if err := enter(v, tm, mm); err != nil {
+					if err := b.enter(v, tlbMask, missMask); err != nil {
 						return fail(err)
 					}
 
@@ -534,8 +761,8 @@ func summarize(t *Trace, prog *program.Program) *summary {
 					pos += n
 					addr := uint64(int64(prevAddr) + unzigzag(delta))
 					prevAddr = addr
-					body = append(body, addr<<1|(w&1))
-					open.dtlb++
+					b.body = append(b.body, addr<<1|(w&1))
+					b.open.dtlb++
 
 				default:
 					return fail(fmt.Errorf("%w: unknown extended event %d", ErrMalformed, pay))
@@ -706,7 +933,7 @@ func (w *sumWalker) applyOp(o sumOp, i int, cacheWork bool) (done bool, err erro
 				mach.ReplayFetchCharges(n, 0, 0)
 			}
 			if w.listener != nil {
-				p := s.pcs[i]
+				p := uint64(s.pcs[i])
 				w.listener(p>>8, int(p&opInstrMax))
 			}
 

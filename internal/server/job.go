@@ -279,6 +279,7 @@ type RunMeta struct {
 func (s *Server) runJob(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
 	opt := spec.options(cancel)
 	opt.IntraParallelism = s.cfg.IntraParallelism
+	opt.TraceFormat = s.cfg.TraceFormat
 	if sink != nil && spec.Events {
 		opt.Sink = sink
 	}

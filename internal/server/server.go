@@ -42,6 +42,7 @@ import (
 
 	"acedo/internal/experiment"
 	"acedo/internal/fault"
+	"acedo/internal/rtrace"
 	"acedo/internal/server/store"
 )
 
@@ -89,6 +90,14 @@ type Config struct {
 	// part of JobSpec — it does not enter SpecHash, and cached
 	// results remain valid across settings.
 	IntraParallelism int
+	// TraceFormat selects the recorder implementation jobs record
+	// with (experiment.Options.TraceFormat): the direct summary
+	// recorder by default, or the byte encoder. Both formats replay
+	// bit-identically, so — like IntraParallelism — this is a
+	// daemon-level performance knob, deliberately not part of JobSpec:
+	// it does not enter SpecHash, and cached results remain valid
+	// across settings.
+	TraceFormat rtrace.Format
 	// DataDir, when non-empty, makes the daemon crash-safe: finished
 	// results persist to a disk-backed content-addressed store under
 	// DataDir/results (write-through behind the in-memory cache, which
@@ -831,6 +840,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Workers = s.cfg.Workers
 	m.Draining = s.Draining()
 	m.CacheHits, m.CacheMisses, m.CacheEvictions, m.CacheEntries, m.CacheBytes = s.cache.stats()
+	m.TraceFormat = s.cfg.TraceFormat.String()
+	tc := experiment.CurrentTraceCacheStats()
+	m.TraceCacheEntries = tc.Entries
+	m.TraceCacheBytes = tc.Bytes
+	m.TraceCacheDirect = tc.DirectBuilt
+	m.TraceCacheSummarized = tc.Summarized
 	if s.store != nil {
 		m.StoreEntries, m.StoreBytes = s.store.Stats()
 		m.JournalReplayed = s.journalReplayed

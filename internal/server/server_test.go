@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"acedo/internal/experiment"
+	"acedo/internal/rtrace"
 	"acedo/internal/workload"
 )
 
@@ -222,6 +223,61 @@ func TestCacheHitDeterminism(t *testing.T) {
 	if after.CacheHits != 1 || after.JobsCached != 1 {
 		t.Errorf("cache counters: hits=%d cached=%d, want 1/1", after.CacheHits, after.JobsCached)
 	}
+}
+
+// TestMetricsTraceCache: after an executed schemes job, /metrics must
+// expose the daemon's recorder format and the process-wide trace
+// cache's gauges — the recording the job stored shows up as a new
+// entry with a non-zero memory charge, attributed to the configured
+// format's construction counter.
+func TestMetricsTraceCache(t *testing.T) {
+	// The trace cache is process-global, so assert deltas, and use
+	// max_instr values no other test submits so the job really records
+	// rather than replaying another test's cached trace.
+	run := func(t *testing.T, cfg Config, spec string) (experiment.TraceCacheStats, Metrics) {
+		before := experiment.CurrentTraceCacheStats()
+		_, ts := testServer(t, cfg)
+		code, _, body := postJob(t, ts.URL, spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d\n%s", code, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if final := waitState(t, ts.URL, st.ID, StateDone); final.Error != "" {
+			t.Fatalf("job failed: %s", final.Error)
+		}
+		var m Metrics
+		getJSON(t, ts.URL, "/metrics", &m)
+		return before, m
+	}
+
+	t.Run("summary", func(t *testing.T) {
+		before, m := run(t, Config{Workers: 1},
+			`{"benchmarks":["compress"],"schemes":["baseline","wss"],"scale":40,"max_instr":600001}`)
+		if m.TraceFormat != "summary" {
+			t.Errorf("trace_format = %q, want %q", m.TraceFormat, "summary")
+		}
+		if m.TraceCacheEntries <= before.Entries || m.TraceCacheBytes <= before.Bytes {
+			t.Errorf("trace cache gauges did not grow: entries %d->%d bytes %d->%d",
+				before.Entries, m.TraceCacheEntries, before.Bytes, m.TraceCacheBytes)
+		}
+		if m.TraceCacheDirect <= before.DirectBuilt {
+			t.Errorf("direct-built counter did not grow: %d -> %d", before.DirectBuilt, m.TraceCacheDirect)
+		}
+	})
+
+	t.Run("bytes", func(t *testing.T) {
+		before, m := run(t, Config{Workers: 1, TraceFormat: rtrace.FormatBytes},
+			`{"benchmarks":["compress"],"schemes":["baseline","wss"],"scale":40,"max_instr":600002}`)
+		if m.TraceFormat != "bytes" {
+			t.Errorf("trace_format = %q, want %q", m.TraceFormat, "bytes")
+		}
+		if m.TraceCacheSummarized <= before.Summarized {
+			t.Errorf("summarized counter did not grow: %d -> %d", before.Summarized, m.TraceCacheSummarized)
+		}
+	})
 }
 
 // stubRun replaces the worker run function with one that blocks until

@@ -107,6 +107,12 @@ type Engine struct {
 	// and data calls for their outcome-observing variants; it never
 	// changes what the machine simulates.
 	rec Recorder
+
+	// recData buffers the fast path's packed data accesses (BodyData)
+	// between block boundaries so a whole body reaches the recorder
+	// as one RecordBody call. Reused across bodies; only touched when
+	// rec is set.
+	recData []uint64
 }
 
 // SetBlockListener installs a basic-block entry observer. Pass nil to
@@ -269,6 +275,9 @@ func (e *Engine) Run(maxInstr uint64) error {
 			var n uint64
 			brIdx := -1
 			var fastErr error
+			if e.rec != nil {
+				e.recData = e.recData[:0]
+			}
 		walk:
 			for i < len(ops) && n < rem {
 				op := &ops[i]
@@ -292,7 +301,7 @@ func (e *Engine) Run(maxInstr uint64) error {
 						break walk
 					}
 					if e.rec != nil {
-						e.rec.RecordData(uint64(addr), false, e.mach.DataObserved(uint64(addr), false))
+						e.recData = append(e.recData, BodyData(uint64(addr), false, e.mach.DataObserved(uint64(addr), false)))
 					} else {
 						e.mach.Data(uint64(addr), false)
 					}
@@ -307,7 +316,7 @@ func (e *Engine) Run(maxInstr uint64) error {
 						break walk
 					}
 					if e.rec != nil {
-						e.rec.RecordData(uint64(addr), true, e.mach.DataObserved(uint64(addr), true))
+						e.recData = append(e.recData, BodyData(uint64(addr), true, e.mach.DataObserved(uint64(addr), true)))
 					} else {
 						e.mach.Data(uint64(addr), true)
 					}
@@ -326,9 +335,6 @@ func (e *Engine) Run(maxInstr uint64) error {
 			}
 			if n > 0 {
 				e.mach.IssueBatch(n)
-				if e.rec != nil {
-					e.rec.RecordBatch(n)
-				}
 				if e.sampleEvery != 0 {
 					if now := e.mach.Instructions(); now >= e.aos.nextSample {
 						for t := e.aos.sampleDueN(now, n); t > 0; t-- {
@@ -341,6 +347,9 @@ func (e *Engine) Run(maxInstr uint64) error {
 				e.stats.BatchedInstr += n
 				e.stats.Runs++
 				if fastErr != nil {
+					if e.rec != nil {
+						e.rec.RecordBody(e.recData, n, BranchNone)
+					}
 					return fastErr
 				}
 				f.idx = i
@@ -348,17 +357,26 @@ func (e *Engine) Run(maxInstr uint64) error {
 					br := &ops[brIdx]
 					switch br.Op {
 					case isa.OpJmp:
+						if e.rec != nil {
+							e.rec.RecordBody(e.recData, n, BranchNone)
+						}
 						e.enterBlock(f, int(br.Imm))
 					default:
 						taken := (f.regs[br.A] != 0) == (br.Op == isa.OpBr)
 						correct := e.mach.CondBranch(f.block.PC+uint64(brIdx), taken)
 						if e.rec != nil {
-							e.rec.RecordBranch(correct)
+							verdict := BranchWrong
+							if correct {
+								verdict = BranchCorrect
+							}
+							e.rec.RecordBody(e.recData, n, verdict)
 						}
 						if taken {
 							e.enterBlock(f, int(br.Imm))
 						}
 					}
+				} else if e.rec != nil {
+					e.rec.RecordBody(e.recData, n, BranchNone)
 				}
 				continue
 			}

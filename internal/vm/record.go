@@ -21,14 +21,48 @@ import (
 //
 // A recorder must not call back into the engine, the machine, or the
 // AOS.
+//
+// RecordBody is the batched form the fast path uses: one call per
+// block body carrying the body's data accesses (packed with BodyData),
+// its retire total, and the terminating conditional branch's verdict
+// (BranchNone when the body ended without one). It is exactly
+// equivalent to the per-event calls in stream order — data accesses,
+// then the batch, then the branch — and exists so a recorder can
+// process a whole body without per-event interface-call overhead.
 type Recorder interface {
 	RecordEnter(id program.MethodID, tlbMask, missMask uint64, ok bool)
 	RecordBlock(idx int, tlbMask, missMask uint64, ok bool)
 	RecordBatch(n uint64)
 	RecordData(wordAddr uint64, write, tlbMiss bool)
 	RecordBranch(correct bool)
+	RecordBody(data []uint64, n uint64, branch int8)
 	RecordExit()
 	RecordHalt()
+}
+
+// RecordBody branch verdicts.
+const (
+	// BranchNone marks a body with no terminating conditional branch
+	// (unconditional jump, fall-through, call/ret/halt, budget cut,
+	// or fault).
+	BranchNone int8 = iota
+	// BranchCorrect marks a correctly predicted terminating branch.
+	BranchCorrect
+	// BranchWrong marks a mispredicted terminating branch.
+	BranchWrong
+)
+
+// BodyData packs one data access for RecordBody: the word address,
+// the D-TLB outcome, and the write bit.
+func BodyData(wordAddr uint64, write, tlbMiss bool) uint64 {
+	d := wordAddr << 2
+	if tlbMiss {
+		d |= 2
+	}
+	if write {
+		d |= 1
+	}
+	return d
 }
 
 // SetRecorder installs (or, with nil, removes) an architectural-stream

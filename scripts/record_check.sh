@@ -1,0 +1,36 @@
+#!/bin/sh
+# Record-format differential gate (CI): the suite's schema-stable
+# snapshot must be byte-identical whichever vm.Recorder captured the
+# traces — the direct summary recorder (-traceformat summary, the
+# default) or the delta/varint byte encoder (-traceformat bytes) —
+# both on a clean suite run and under a deterministic simulator-level
+# fault plan (rejected/deferred CU requests, resize stalls, dropped
+# timer samples, flipped BBV bits). Runs next to replay-check, which
+# gates replay-vs-direct the same way.
+set -eu
+
+GO=${GO:-go}
+TMP="${TMPDIR:-/tmp}/acedo_record_check_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/faults.json" <<'EOF'
+{
+  "seed": 1337,
+  "rules": [
+    {"point": "unit-request", "kind": "reject", "every": 7},
+    {"point": "resize", "kind": "stall", "every": 5, "stall_cycles": 40},
+    {"point": "timer-sample", "kind": "drop", "every": 11},
+    {"point": "bbv-signature", "kind": "bitflip", "every": 13}
+  ]
+}
+EOF
+
+for plan in none faults; do
+    args=""
+    [ "$plan" = faults ] && args="-faults $TMP/faults.json"
+    $GO run ./cmd/acetables -json "$TMP/sum_$plan.json" -q $args
+    $GO run ./cmd/acetables -json "$TMP/byte_$plan.json" -q -traceformat bytes $args
+    cmp "$TMP/sum_$plan.json" "$TMP/byte_$plan.json"
+    echo "record-check ($plan): snapshots byte-identical"
+done
