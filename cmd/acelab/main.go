@@ -11,6 +11,7 @@
 //	acelab cancel j1
 //	acelab jobs
 //	acelab metrics
+//	acelab health
 //
 // A spec argument of "-" (or none) reads the JSON spec from stdin; an
 // empty object {} is the full default evaluation.
@@ -23,9 +24,18 @@
 // clearly down, and a dropped events stream reconnects with ?offset to
 // resume where it left off. SIGINT/SIGTERM cancels promptly, even
 // mid-backoff.
+//
+// Against a cluster, -server takes the whole membership as a
+// comma-separated list. A connection failure rotates to the next
+// endpoint (any node answers any request — non-owners forward and
+// proxy), and a spec that is a JSON *array* fans out: `acelab run`
+// and `acelab optimize` spread the elements across the endpoints
+// concurrently and print the results merged into one JSON array in
+// spec order.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -38,6 +48,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -56,13 +68,14 @@ commands:
   cancel   <id>      cancel a queued or running job
   jobs               list all retained jobs
   metrics            print daemon metrics
+  health             print daemon health (includes peer liveness on a cluster node)
 `)
 	os.Exit(2)
 }
 
 func main() {
 	var (
-		serverURL = flag.String("server", "http://localhost:8080", "acelabd base URL")
+		serverURL = flag.String("server", "http://localhost:8080", "acelabd base URL, or a comma-separated list of cluster endpoints")
 		poll      = flag.Duration("poll", 500*time.Millisecond, "status poll interval for run")
 		noFollow  = flag.Bool("no-follow", false, "events: dump buffered events and exit")
 		retries   = flag.Int("retries", 8, "max attempts per request across backpressure (429), connection errors, and 5xx")
@@ -75,12 +88,26 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var endpoints []string
+	for _, u := range strings.Split(*serverURL, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			endpoints = append(endpoints, u)
+		}
+	}
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "acelab: -server: no endpoints")
+		os.Exit(2)
+	}
 	c := client{
-		base:    strings.TrimRight(*serverURL, "/"),
+		base:    endpoints[0],
 		retries: *retries,
 		ctx:     ctx,
 		httpc:   &http.Client{Timeout: *timeout},
 		brk:     &breaker{threshold: 5, cooldown: 10 * time.Second},
+	}
+	if len(endpoints) > 1 {
+		c.endpoints = endpoints
+		c.cur = new(int32)
 	}
 	cmd, arg := flag.Arg(0), flag.Arg(1)
 
@@ -104,6 +131,8 @@ func main() {
 		err = c.get("/v1/jobs", os.Stdout)
 	case "metrics":
 		err = c.get("/metrics", os.Stdout)
+	case "health":
+		err = c.get("/healthz", os.Stdout)
 	default:
 		usage()
 	}
@@ -125,6 +154,36 @@ type client struct {
 	ctx     context.Context
 	httpc   *http.Client
 	brk     *breaker
+
+	// endpoints, when set, is the full cluster membership; base is then
+	// ignored and requests go to endpoints[*cur % len], a cursor shared
+	// by every copy of this client so a rotation (after a connection
+	// failure) sticks for subsequent requests.
+	endpoints []string
+	cur       *int32
+}
+
+// baseURL returns the endpoint requests currently target.
+func (c client) baseURL() string {
+	if len(c.endpoints) == 0 || c.cur == nil {
+		return c.base
+	}
+	i := int(atomic.LoadInt32(c.cur)) % len(c.endpoints)
+	if i < 0 {
+		i += len(c.endpoints)
+	}
+	return c.endpoints[i]
+}
+
+// rotate advances to the next endpoint after a connection failure —
+// in a cluster any node serves any request (forwarding and proxying
+// cover ownership), so the client walks the membership rather than
+// hammering a dead node.
+func (c client) rotate() {
+	if len(c.endpoints) > 1 && c.cur != nil {
+		atomic.AddInt32(c.cur, 1)
+		fmt.Fprintf(os.Stderr, "acelab: endpoint unreachable, rotating to %s\n", c.baseURL())
+	}
 }
 
 // context returns the client's cancellation context.
@@ -206,6 +265,7 @@ func (c client) roundTrip(req *http.Request) (*http.Response, error) {
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		c.brk.failure()
+		c.rotate()
 		return nil, err
 	}
 	c.brk.success()
@@ -221,7 +281,7 @@ func (c client) get(path string, out io.Writer) error {
 // do performs one request. Non-2xx responses become errors with the
 // response body (the daemon's JSON error document) attached.
 func (c client) do(method, path string, body io.Reader, out io.Writer) error {
-	req, err := http.NewRequestWithContext(c.context(), method, c.base+path, body)
+	req, err := http.NewRequestWithContext(c.context(), method, c.baseURL()+path, body)
 	if err != nil {
 		return err
 	}
@@ -310,7 +370,7 @@ func (c client) postJob(spec string) ([]byte, error) {
 	}
 	var lastErr error
 	for attempt := 1; attempt <= c.retries; attempt++ {
-		req, err := http.NewRequestWithContext(c.context(), http.MethodPost, c.base+"/v1/jobs", strings.NewReader(spec))
+		req, err := http.NewRequestWithContext(c.context(), http.MethodPost, c.baseURL()+"/v1/jobs", strings.NewReader(spec))
 		if err != nil {
 			return nil, err
 		}
@@ -405,7 +465,7 @@ func (e *statusError) Error() string { return e.msg }
 // the body to out, returning how many bytes were delivered before the
 // stream ended or failed.
 func (c client) copyStream(path string, out io.Writer) (int, error) {
-	req, err := http.NewRequestWithContext(c.context(), http.MethodGet, c.base+path, nil)
+	req, err := http.NewRequestWithContext(c.context(), http.MethodGet, c.baseURL()+path, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -415,6 +475,7 @@ func (c client) copyStream(path string, out io.Writer) (int, error) {
 	resp, err := streamClient.Do(req)
 	if err != nil {
 		c.brk.failure()
+		c.rotate()
 		return 0, err
 	}
 	c.brk.success()
@@ -452,28 +513,119 @@ func retryWait(header string, attempt int) time.Duration {
 
 // submit POSTs the spec (an argument, or stdin for "-"/empty). With
 // wait set it polls the job to a terminal state and prints the result
-// document; otherwise it prints the submission status.
+// document; otherwise it prints the submission status. A JSON-array
+// spec fans out across the cluster (runBatch).
 func (c client) submit(arg string, wait bool, poll time.Duration) error {
 	spec, err := readSpec(arg)
 	if err != nil {
 		return err
 	}
-	return c.runSpec(spec, wait, poll)
+	if specs, ok := batchSpecs(spec); ok {
+		return c.runBatch(specs, wait, poll)
+	}
+	return c.runSpec(spec, wait, poll, os.Stdout)
 }
 
 // optimize submits the spec as a configuration-search job: a spec
 // without an "optimize" clause gets the empty one (all search defaults
 // — GA over the full widened space), then it runs like `acelab run`.
+// A JSON-array spec fans each element out as its own search.
 func (c client) optimize(arg string, poll time.Duration) error {
 	spec, err := readSpec(arg)
 	if err != nil {
 		return err
 	}
+	if specs, ok := batchSpecs(spec); ok {
+		for i := range specs {
+			if specs[i], err = withOptimize(specs[i]); err != nil {
+				return err
+			}
+		}
+		return c.runBatch(specs, true, poll)
+	}
 	spec, err = withOptimize(spec)
 	if err != nil {
 		return err
 	}
-	return c.runSpec(spec, true, poll)
+	return c.runSpec(spec, true, poll, os.Stdout)
+}
+
+// batchSpecs detects a JSON-array spec and splits it into elements.
+// Anything that does not parse as an array is a single spec ([ with
+// broken JSON included — the daemon reports the malformed spec with a
+// better error than the client could).
+func batchSpecs(spec string) ([]string, bool) {
+	if !strings.HasPrefix(strings.TrimSpace(spec), "[") {
+		return nil, false
+	}
+	var elems []json.RawMessage
+	if err := json.Unmarshal([]byte(spec), &elems); err != nil {
+		return nil, false
+	}
+	out := make([]string, len(elems))
+	for i, e := range elems {
+		out[i] = string(e)
+	}
+	return out, true
+}
+
+// runBatch spreads a list of specs across the cluster concurrently —
+// element i starts on endpoint i mod len(endpoints), with its own
+// breaker and rotation cursor so one slow or dead node only reroutes
+// the specs that hit it — and prints the per-spec documents merged
+// into one JSON array in spec order. A failed element contributes
+// null and its error is reported (and the exit status reflects it)
+// after every element has settled, so one bad spec does not abandon
+// the rest of the batch.
+func (c client) runBatch(specs []string, wait bool, poll time.Duration) error {
+	if len(specs) == 0 {
+		_, err := os.Stdout.WriteString("[]\n")
+		return err
+	}
+	type result struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := make([]result, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := c.forWorker(i)
+			results[i].err = cc.runSpec(specs[i], wait, poll, &results[i].buf)
+		}(i)
+	}
+	wg.Wait()
+	var errs []error
+	os.Stdout.WriteString("[\n")
+	for i := range results {
+		if i > 0 {
+			os.Stdout.WriteString(",\n")
+		}
+		if results[i].err != nil {
+			errs = append(errs, fmt.Errorf("spec %d: %w", i, results[i].err))
+			os.Stdout.WriteString("null")
+			continue
+		}
+		os.Stdout.Write(bytes.TrimRight(results[i].buf.Bytes(), "\n"))
+	}
+	os.Stdout.WriteString("\n]\n")
+	return errors.Join(errs...)
+}
+
+// forWorker derives one batch element's client: a private breaker (a
+// node that is down for one element must not fail-fast its siblings
+// talking to healthy nodes) and a private cursor parked on endpoint
+// i, which spreads the batch across the membership.
+func (c client) forWorker(i int) client {
+	cc := c
+	cc.brk = &breaker{threshold: 5, cooldown: 10 * time.Second}
+	if n := len(c.endpoints); n > 0 {
+		cur := int32(i % n)
+		cc.cur = &cur
+	}
+	return cc
 }
 
 // withOptimize ensures the spec JSON has an optimize clause, injecting
@@ -501,14 +653,15 @@ func withOptimize(spec string) (string, error) {
 }
 
 // runSpec submits a resolved spec with retry, then either prints the
-// submission status or waits for the result document.
-func (c client) runSpec(spec string, wait bool, poll time.Duration) error {
+// submission status or waits for the result document, writing to out
+// (stdout for single specs, a per-element buffer in a batch).
+func (c client) runSpec(spec string, wait bool, poll time.Duration, out io.Writer) error {
 	body, err := c.postJob(spec)
 	if err != nil {
 		return err
 	}
 	if !wait {
-		_, err := os.Stdout.Write(body)
+		_, err := out.Write(body)
 		return err
 	}
 	var st jobStatus
@@ -540,5 +693,5 @@ func (c client) runSpec(spec string, wait bool, poll time.Duration) error {
 	if st.State != "done" {
 		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
 	}
-	return c.get("/v1/jobs/"+st.ID+"/result", os.Stdout)
+	return c.get("/v1/jobs/"+st.ID+"/result", out)
 }

@@ -16,6 +16,16 @@
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"benchmarks":["gzip"]}'
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"benchmarks":["gzip"],"optimize":{}}'
 //
+// A set of daemons forms a cluster when each is started with -node-id
+// and the full -peers membership (docs/OPERATIONS.md walks through a
+// deployment):
+//
+//	acelabd -addr :8081 -node-id a -peers a=http://h1:8081,b=http://h2:8081
+//
+// Submissions then route to the consistent-hash owner of each spec's
+// content address, so every distinct experiment executes and caches
+// once cluster-wide; any node accepts any request.
+//
 // SIGINT/SIGTERM drains gracefully: new submissions are refused with
 // 503 while queued and running jobs finish.
 package main
@@ -27,12 +37,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"acedo/internal/fault"
 	"acedo/internal/rtrace"
 	"acedo/internal/server"
+	"acedo/internal/server/cluster"
 )
 
 func main() {
@@ -48,6 +60,8 @@ func main() {
 		traceFmt  = flag.String("trace-format", "", "recorder format for job recordings: summary (direct-built, default) or bytes (results are bit-identical either way)")
 		drain     = flag.Duration("drain-timeout", 10*time.Minute, "max wait for in-flight jobs on shutdown")
 		quiet     = flag.Bool("q", false, "suppress per-job log lines")
+		nodeID    = flag.String("node-id", "", "this node's cluster identity (requires -peers)")
+		peers     = flag.String("peers", "", "cluster membership as id=url,id=url,... including this node; arms consistent-hash job routing")
 	)
 	flag.Parse()
 
@@ -69,6 +83,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	clu, err := parsePeers(*nodeID, *peers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acelabd: %v\n", err)
+		os.Exit(2)
+	}
 	srv, err := server.New(server.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -78,6 +97,7 @@ func main() {
 		TraceFormat:      format,
 		DataDir:          *dataDir,
 		ServiceFaults:    plan,
+		Cluster:          clu,
 		Log:              logw,
 	})
 	if err != nil {
@@ -110,4 +130,36 @@ func main() {
 	}
 	httpSrv.Close()
 	fmt.Fprintln(os.Stderr, "acelabd: drained")
+}
+
+// parsePeers compiles -node-id and -peers into a cluster config. Both
+// must be given together; the membership string is id=url pairs,
+// comma-separated, and must include this node's own ID. Node IDs may
+// not contain '@' — the daemon qualifies cross-node job IDs as
+// "j3@node", splitting on the last '@'.
+func parsePeers(nodeID, peers string) (*cluster.Config, error) {
+	if nodeID == "" && peers == "" {
+		return nil, nil
+	}
+	if nodeID == "" || peers == "" {
+		return nil, fmt.Errorf("-node-id and -peers must be given together")
+	}
+	m := make(map[string]string)
+	for _, pair := range strings.Split(peers, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers: bad entry %q (want id=url)", pair)
+		}
+		if strings.ContainsAny(id, "@/") {
+			return nil, fmt.Errorf("-peers: node ID %q may not contain '@' or '/'", id)
+		}
+		if _, dup := m[id]; dup {
+			return nil, fmt.Errorf("-peers: duplicate node ID %q", id)
+		}
+		m[id] = url
+	}
+	if _, ok := m[nodeID]; !ok {
+		return nil, fmt.Errorf("-peers must include this node's own ID %q", nodeID)
+	}
+	return &cluster.Config{NodeID: nodeID, Peers: m}, nil
 }

@@ -8,8 +8,10 @@
 //
 //   - doclint -md README.md docs/API.md ...
 //     checks every relative markdown link ([text](path), path not a
-//     URL or pure fragment) resolves to an existing file, so doc
-//     refactors cannot leave dead links behind.
+//     URL) resolves to an existing file, and that anchor fragments —
+//     both same-file (#section) and cross-file (file.md#section) —
+//     name a real heading under GitHub's slug rules, so doc refactors
+//     cannot leave dead links or dead anchors behind.
 //
 // Exit status is non-zero when anything is flagged, making it a cheap
 // CI gate (`make doclint`).
@@ -151,7 +153,9 @@ func recvType(e ast.Expr) string {
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
 // checkMarkdown appends a problem line for every relative link in file
-// whose target does not exist on disk.
+// whose target does not exist on disk, and for every anchor fragment
+// (same-file "#section" or cross-file "file.md#section") that names no
+// heading in its target.
 func checkMarkdown(file string, problems []string) ([]string, error) {
 	data, err := os.ReadFile(file)
 	if err != nil {
@@ -160,20 +164,98 @@ func checkMarkdown(file string, problems []string) ([]string, error) {
 	base := filepath.Dir(file)
 	for i, line := range strings.Split(string(data), "\n") {
 		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
-			target := m[1]
-			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			target, frag := m[1], ""
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue
 			}
 			if j := strings.IndexByte(target, '#'); j >= 0 {
-				target = target[:j]
+				target, frag = target[:j], target[j+1:]
 			}
-			if target == "" {
+			path := file
+			if target != "" {
+				path = filepath.Join(base, target)
+				if _, err := os.Stat(path); err != nil {
+					problems = append(problems, fmt.Sprintf("%s:%d: dead link %s", file, i+1, m[1]))
+					continue
+				}
+			}
+			// Anchors only make sense into markdown; a fragment into a
+			// source file (or a bare #fragment in this file) is checked
+			// against the target's heading slugs.
+			if frag == "" || !strings.HasSuffix(path, ".md") {
 				continue
 			}
-			if _, err := os.Stat(filepath.Join(base, target)); err != nil {
-				problems = append(problems, fmt.Sprintf("%s:%d: dead link %s", file, i+1, m[1]))
+			anchors, err := anchorsOf(path)
+			if err != nil {
+				return problems, err
+			}
+			if !anchors[frag] {
+				problems = append(problems, fmt.Sprintf("%s:%d: dead anchor %s", file, i+1, m[1]))
 			}
 		}
 	}
 	return problems, nil
+}
+
+// anchorCache memoizes each markdown file's heading slugs; docs link
+// into the same few files many times.
+var anchorCache = map[string]map[string]bool{}
+
+// anchorsOf returns the set of GitHub-style anchor slugs a markdown
+// file's headings define. Headings inside fenced code blocks do not
+// count; duplicate headings get -1, -2, ... suffixes like GitHub's
+// renderer.
+func anchorsOf(path string) (map[string]bool, error) {
+	if a, ok := anchorCache[path]; ok {
+		return a, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") {
+			continue // "#hashtag", not a heading
+		}
+		slug := slugify(text)
+		if n := seen[slug]; n > 0 {
+			seen[slug]++
+			slug = fmt.Sprintf("%s-%d", slug, n)
+		} else {
+			seen[slug] = 1
+		}
+		anchors[slug] = true
+	}
+	anchorCache[path] = anchors
+	return anchors, nil
+}
+
+// slugify renders a heading as GitHub's anchor slug: inline link
+// syntax reduced to its text, lowercased, spaces to hyphens, and every
+// other character outside [a-z0-9_-] dropped (which also erases
+// formatting marks like backticks and asterisks).
+func slugify(heading string) string {
+	s := mdLink.ReplaceAllString(strings.TrimSpace(heading), "]")
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }

@@ -1,0 +1,189 @@
+// Cluster walks the sharded experiment daemon end to end, in one
+// process: it boots three internal/server nodes wired into a
+// consistent-hash ring over loopback listeners, submits over real
+// HTTP, and shows the cluster plane doing its work —
+//
+//  1. any node accepts any submission: a node that does not own the
+//     spec's content address forwards it to the hash-owner, and the
+//     job ID comes back qualified with the owner ("j1@b");
+//  2. the result cache is cluster-wide: resubmitting the spec to a
+//     *different* node answers from the owner's cache, with every
+//     node's instruction counter unmoved;
+//  3. /metrics and /healthz show the ring: per-node ownership share,
+//     forward counters, and probed peer liveness.
+//
+// The same flow works against standalone daemons: `acelabd -addr
+// :8081 -node-id a -peers a=http://h1:8081,b=http://h2:8081` per
+// node, plus the acelab commands in docs/API.md. The operator's view
+// — deploy, drain, restart, troubleshoot — is docs/OPERATIONS.md.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"acedo/internal/server"
+	"acedo/internal/server/cluster"
+)
+
+// node is one booted ring member.
+type node struct {
+	id   string
+	base string
+	srv  *server.Server
+}
+
+// post submits a spec to a node and returns the decoded status plus
+// the HTTP status code.
+func post(base, spec string) (server.JobStatus, int) {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st, resp.StatusCode
+}
+
+// wait polls a job to a terminal state; the origin node proxies the
+// poll to wherever the job lives.
+func wait(base, id string) server.JobStatus {
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		switch st.State {
+		case server.StateDone:
+			return st
+		case server.StateFailed, server.StateCanceled:
+			log.Fatalf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// metrics fetches one node's metrics document.
+func metrics(base string) server.Metrics {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m server.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	// Listeners first: the ring membership (node ID -> URL) is part of
+	// every node's config, so the addresses must exist before any
+	// server is built.
+	ids := []string{"a", "b", "c"}
+	nodes := make([]*node, len(ids))
+	peers := make(map[string]string, len(ids))
+	listeners := make([]net.Listener, len(ids))
+	for i, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners[i] = ln
+		peers[id] = "http://" + ln.Addr().String()
+	}
+	for i, id := range ids {
+		srv, err := server.New(server.Config{
+			Workers: 2,
+			Cluster: &cluster.Config{NodeID: id, Peers: peers},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = &node{id: id, base: peers[id], srv: srv}
+		go http.Serve(listeners[i], srv)
+	}
+	fmt.Println("3-node ring up:")
+	for _, n := range nodes {
+		m := metrics(n.base)
+		fmt.Printf("  %s %s owns %4.1f%% of the hash space\n", n.id, n.base, m.ClusterOwnedPct)
+	}
+
+	// Find the spec's owner so the demo can deliberately submit to a
+	// non-owner.
+	spec := `{"benchmarks":["jess"],"schemes":["baseline","hotspot"],"scale":40,"run_meta":true}`
+	ring := nodes[0].srv.ClusterRing()
+	var js server.JobSpec
+	if err := json.Unmarshal([]byte(spec), &js); err != nil {
+		log.Fatal(err)
+	}
+	js, err := js.Normalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, err := server.SpecHash(js)
+	if err != nil {
+		log.Fatal(err)
+	}
+	owner := ring.Owner(hash)
+	var origin, third *node
+	for _, n := range nodes {
+		if n.id != owner && origin == nil {
+			origin = n
+		} else if n.id != owner {
+			third = n
+		}
+	}
+
+	fmt.Printf("\n-- submit via non-owner %s (the ring says %s owns %.12s) --\n", origin.id, owner, hash)
+	st, code := post(origin.base, spec)
+	fmt.Printf("submit -> %d %s, job ID %q (qualified with the owner)\n", code, st.State, st.ID)
+	st = wait(origin.base, st.ID)
+	for _, r := range st.Runs {
+		fmt.Printf("  %s/%-8s %-9s %6.1f ms\n", r.Benchmark, r.Scheme, r.Disposition, r.WallMS)
+	}
+
+	before := metrics(third.base).InstrSimulated
+	fmt.Printf("\n-- resubmit via %s: the cache is cluster-wide --\n", third.id)
+	st2, code := post(third.base, spec)
+	fmt.Printf("submit -> %d cached=%v (same spec_hash: %v)\n", code, st2.Cached, st2.SpecHash == st.SpecHash)
+	fmt.Printf("instructions re-simulated anywhere: %d\n", metrics(third.base).InstrSimulated-before)
+
+	fmt.Println("\n-- the ring in /metrics --")
+	for _, n := range nodes {
+		m := metrics(n.base)
+		fmt.Printf("  %s: forwarded %d, received %d, executed %d, from cache %d\n",
+			n.id, m.JobsForwarded, m.JobsForwardReceived, m.JobsCompleted, m.JobsCached)
+	}
+
+	fmt.Println("\n-- peer liveness in /healthz --")
+	resp, err := http.Get(nodes[0].base + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hz struct {
+		ClusterNode string            `json:"cluster_node"`
+		Peers       map[string]string `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for id, status := range hz.Peers {
+		fmt.Printf("  %s -> %s: %s\n", hz.ClusterNode, id, status)
+	}
+}

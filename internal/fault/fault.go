@@ -62,6 +62,13 @@ const (
 	// connection can be dropped mid-stream, exercising client
 	// reconnect-and-resume.
 	PointEventStream Point = "event-stream"
+	// PointPeer intercepts one outbound request to a cluster peer
+	// (job forwarding, store peering, liveness probes): the request
+	// can be dropped before it leaves (a partition), delayed, or
+	// answered with an injected 500. The Unit filter selects the
+	// target peer's node ID; empty partitions this node from every
+	// peer.
+	PointPeer Point = "peer"
 )
 
 // Kind selects what happens when a rule fires.
@@ -75,7 +82,9 @@ const (
 	KindDefer Kind = "defer"
 	// KindStall charges extra drain cycles to a resize.
 	KindStall Kind = "stall"
-	// KindDrop discards a due profiler timer sample.
+	// KindDrop discards a due profiler timer sample; at the peer
+	// point it drops an outbound peer request before it leaves,
+	// simulating a network partition.
 	KindDrop Kind = "drop"
 	// KindDuplicate delivers a due profiler timer sample twice.
 	KindDuplicate Kind = "duplicate"
@@ -90,10 +99,11 @@ const (
 	// write and sync.
 	KindTorn Kind = "torn"
 	// KindLatency delays an HTTP request by DelayMS before its
-	// handler runs.
+	// handler runs (or an outbound peer request before it is sent).
 	KindLatency Kind = "latency"
 	// KindFail answers an HTTP request with an injected 500 instead
-	// of running its handler.
+	// of running its handler (or an outbound peer request with an
+	// injected 500 from the far side).
 	KindFail Kind = "fail"
 	// KindDisconnect drops an event-stream connection mid-stream.
 	KindDisconnect Kind = "disconnect"
@@ -110,6 +120,7 @@ var pointKinds = map[Point][]Kind{
 	PointStoreSync:    {KindError},
 	PointHTTP:         {KindLatency, KindFail},
 	PointEventStream:  {KindDisconnect},
+	PointPeer:         {KindDrop, KindLatency, KindFail},
 }
 
 // servicePoints marks the points a Service injector arms; run-level
@@ -120,6 +131,7 @@ var servicePoints = map[Point]bool{
 	PointStoreSync:   true,
 	PointHTTP:        true,
 	PointEventStream: true,
+	PointPeer:        true,
 }
 
 // Rule arms one injection point. A rule observes the point's

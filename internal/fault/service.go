@@ -126,6 +126,26 @@ func (s *Service) HTTP(route string) (delay time.Duration, fail bool) {
 	return delay, fail
 }
 
+// Peer decides one outbound peer request's fate before it is sent:
+// an injected delay (0 = none), whether to drop it on the floor as a
+// partition would (the caller surfaces a connection error without
+// dialing), and whether the far side should answer with an injected
+// 500. peer filters rules by Unit (the target node ID); rules with an
+// empty Unit partition this node from every peer.
+func (s *Service) Peer(peer string) (delay time.Duration, drop, fail bool) {
+	if s == nil {
+		return 0, false, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rs := s.inj.match(PointPeer, peer, KindLatency); rs != nil {
+		delay = time.Duration(rs.DelayMS) * time.Millisecond
+	}
+	drop = s.inj.match(PointPeer, peer, KindDrop) != nil
+	fail = s.inj.match(PointPeer, peer, KindFail) != nil
+	return delay, drop, fail
+}
+
 // StreamDisconnect reports whether the current event-stream write
 // should drop the connection.
 func (s *Service) StreamDisconnect() bool {

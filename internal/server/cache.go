@@ -59,6 +59,16 @@ func (c *resultCache) get(hash string) *cacheEntry {
 	return e
 }
 
+// peek returns the entry for hash without counting a hit or miss and
+// without touching LRU recency. Peer-store serving uses it: another
+// node probing this node's cache must not perturb the local hit/miss
+// counters or retention order.
+func (c *resultCache) peek(hash string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[hash]
+}
+
 // touch moves hash to the most-recent end of the LRU order.
 func (c *resultCache) touch(hash string) {
 	if !c.evict {

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"acedo/internal/fault"
+)
+
+// ForwardedHeader marks a submission that has already been routed by
+// a cluster member. A forwarded submission is never forwarded again —
+// whatever node it lands on executes it locally — so routing
+// disagreements between nodes (split-brain memberships, mid-rollout
+// config skew) degrade to one extra hop, never a forwarding loop. The
+// header value is the origin node's ID.
+const ForwardedHeader = "X-Acelabd-Forwarded"
+
+// ProbeHeader marks a liveness probe from a peer. A /healthz request
+// carrying it is answered from local state only — the probed node
+// must not fan out its own probes, or two nodes probing each other
+// would recurse until their deadlines broke the storm.
+const ProbeHeader = "X-Acelabd-Probe"
+
+// Config parameterises one node's view of the cluster: who it is,
+// who its peers are, and how patiently it forwards.
+type Config struct {
+	// NodeID is this node's ring identity; it must appear in Peers.
+	NodeID string
+	// Peers maps every member's node ID — this node included — to its
+	// base URL (e.g. "http://10.0.0.2:8080").
+	Peers map[string]string
+	// ForwardTimeout bounds each forwarded request (0 = 5s). Job
+	// forwarding retries transport failures within ForwardRetries
+	// attempts before the caller degrades to local execution.
+	ForwardTimeout time.Duration
+	// ForwardRetries is the attempt budget per forward (0 = 3).
+	ForwardRetries int
+}
+
+// Cluster is one node's compiled cluster plane: the consistent-hash
+// ring plus the peer HTTP client. All methods are safe for concurrent
+// use; a nil *Cluster means "not clustered" and is the single-node
+// fast path throughout the server.
+type Cluster struct {
+	self    string
+	ring    *Ring
+	urls    map[string]string
+	faults  *fault.Service
+	httpc   *http.Client // bounded requests (forwarding, store peering)
+	streamc *http.Client // streaming proxies (no overall timeout)
+	retries int
+}
+
+// New compiles a cluster config (nil config → nil Cluster, the
+// single-node mode). faults may be nil; when armed, every outbound
+// peer request consults its peer point first.
+func New(cfg *Config, faults *fault.Service) (*Cluster, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("cluster: node ID required")
+	}
+	if _, ok := cfg.Peers[cfg.NodeID]; !ok {
+		return nil, fmt.Errorf("cluster: node %q missing from its own peer list", cfg.NodeID)
+	}
+	nodes := make([]string, 0, len(cfg.Peers))
+	urls := make(map[string]string, len(cfg.Peers))
+	for id, u := range cfg.Peers {
+		if u == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", id)
+		}
+		nodes = append(nodes, id)
+		urls[id] = strings.TrimRight(u, "/")
+	}
+	ring, err := NewRing(nodes)
+	if err != nil {
+		return nil, err
+	}
+	timeout := cfg.ForwardTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	retries := cfg.ForwardRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	return &Cluster{
+		self:    cfg.NodeID,
+		ring:    ring,
+		urls:    urls,
+		faults:  faults,
+		httpc:   &http.Client{Timeout: timeout},
+		streamc: &http.Client{},
+		retries: retries,
+	}, nil
+}
+
+// Self returns this node's ID.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring returns the membership ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Owner returns the node owning a spec hash.
+func (c *Cluster) Owner(hash string) string { return c.ring.Owner(hash) }
+
+// URL returns a member's base URL ("" for unknown nodes).
+func (c *Cluster) URL(node string) string { return c.urls[node] }
+
+// errPeer wraps every connection-level peer failure, injected or
+// real, so callers can log one uniform class.
+func errPeer(node string, err error) error {
+	return fmt.Errorf("cluster: peer %s: %w", node, err)
+}
+
+// send performs one outbound request to a peer through the fault
+// seam: an armed plan can delay the request, drop it before it leaves
+// (a partition — the caller sees a connection error), or answer it
+// with an injected 500. client selects the bounded or streaming
+// transport.
+func (c *Cluster) send(client *http.Client, node string, req *http.Request) (*http.Response, error) {
+	delay, drop, fail := c.faults.Peer(node)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return nil, errPeer(node, fmt.Errorf("partitioned: %w", fault.ErrInjected))
+	}
+	if fail {
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Status:     "500 Internal Server Error",
+			Header:     http.Header{"Content-Type": []string{"application/json"}},
+			Body:       io.NopCloser(strings.NewReader(`{"error":"injected peer fault"}` + "\n")),
+			Request:    req,
+		}, nil
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, errPeer(node, err)
+	}
+	return resp, nil
+}
+
+// Do performs one request against a peer's HTTP API. stream selects
+// the timeout-free transport (event-stream proxies follow their job
+// for as long as it runs); bounded requests ride the forward timeout.
+func (c *Cluster) Do(method, node, path string, stream bool) (*http.Response, error) {
+	base, ok := c.urls[node]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node %q", node)
+	}
+	req, err := http.NewRequest(method, base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	client := c.httpc
+	if stream {
+		client = c.streamc
+	}
+	return c.send(client, node, req)
+}
+
+// ForwardSubmit routes one submission to its hash-owner: POST the
+// canonical spec JSON with the forwarded marker, retrying transport
+// failures with capped exponential backoff inside the attempt budget.
+// Any HTTP response — 202, a cache-hit 200, a backpressure 429 — is
+// the owner's answer and is returned for the caller to relay
+// verbatim; only an unreachable owner returns an error, upon which
+// the caller degrades to local execution.
+func (c *Cluster) ForwardSubmit(owner string, spec []byte) (code int, header http.Header, body []byte, err error) {
+	base, ok := c.urls[owner]
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("cluster: unknown node %q", owner)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(forwardBackoff(attempt))
+		}
+		req, rerr := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(spec))
+		if rerr != nil {
+			return 0, nil, nil, rerr
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(ForwardedHeader, c.self)
+		resp, serr := c.send(c.httpc, owner, req)
+		if serr != nil {
+			lastErr = serr
+			continue
+		}
+		body, rerr = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			lastErr = errPeer(owner, rerr)
+			continue
+		}
+		return resp.StatusCode, resp.Header, body, nil
+	}
+	return 0, nil, nil, lastErr
+}
+
+// forwardBackoff is the pause before forward attempt n (1-based
+// retries): 50ms doubling, capped at 1s. Deterministic — the server
+// side adds no jitter, leaving backpressure spreading to the client's
+// jittered loop.
+func forwardBackoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond << uint(attempt-1)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// FetchStore asks a peer's content-addressed store for the raw
+// encoded entry of one hash (the store file's exact bytes, CRC header
+// and all). A 404 is a clean miss; transport failures and other
+// statuses return an error. No retries: store peering is an
+// opportunistic fast path consulted before executing, and the caller
+// falls through to execution on any failure.
+func (c *Cluster) FetchStore(node, hash string) ([]byte, bool, error) {
+	resp, err := c.Do(http.MethodGet, node, "/v1/cluster/store/"+hash, false)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, errPeer(node, fmt.Errorf("store fetch: %s", resp.Status))
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, errPeer(node, err)
+	}
+	return b, true, nil
+}
+
+// Liveness probes every peer's /healthz concurrently (1s deadline
+// each) and reports node → status: the peer's own status string
+// ("ok", "draining") when it answered, or "unreachable: <cause>" when
+// it did not. Probes ride the fault seam, so an injected partition
+// shows up here exactly as a real one would.
+func (c *Cluster) Liveness() map[string]string {
+	type probe struct{ node, status string }
+	var peers []string
+	for id := range c.urls {
+		if id != c.self {
+			peers = append(peers, id)
+		}
+	}
+	sort.Strings(peers)
+	ch := make(chan probe, len(peers))
+	var wg sync.WaitGroup
+	for _, id := range peers {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			ch <- probe{id, c.probe(id)}
+		}(id)
+	}
+	wg.Wait()
+	close(ch)
+	out := make(map[string]string, len(peers))
+	for p := range ch {
+		out[p.node] = p.status
+	}
+	return out
+}
+
+// probe checks one peer's /healthz.
+func (c *Cluster) probe(node string) string {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.urls[node]+"/healthz", nil)
+	if err != nil {
+		return "unreachable: " + err.Error()
+	}
+	req.Header.Set(ProbeHeader, c.self)
+	resp, err := c.send(c.streamc, node, req)
+	if err != nil {
+		return "unreachable: " + err.Error()
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string `json:"status"`
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err == nil && json.Unmarshal(b, &doc) == nil && doc.Status != "" {
+		return doc.Status
+	}
+	return resp.Status
+}

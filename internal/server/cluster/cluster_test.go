@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"acedo/internal/fault"
+)
+
+// twoNodeCluster builds a Cluster for node "self" with one live peer
+// backed by the given handler, under an optional fault plan.
+func twoNodeCluster(t *testing.T, h http.Handler, plan *fault.Plan) (*Cluster, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	svc, err := fault.NewService(plan)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	c, err := New(&Config{
+		NodeID:         "self",
+		Peers:          map[string]string{"self": "http://invalid.localdomain", "peer": ts.URL},
+		ForwardRetries: 1,
+	}, svc)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, ts
+}
+
+// TestPeerFaultDeterminism checks that a peer drop plan partitions
+// outbound requests deterministically: with a Count-bounded drop
+// rule, exactly the first N requests fail without reaching the peer,
+// and the same plan replays the same sequence.
+func TestPeerFaultDeterminism(t *testing.T) {
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointPeer, Kind: fault.KindDrop, Count: 2},
+	}}
+	run := func() (seq []bool, served int64) {
+		var hits int64
+		c, _ := twoNodeCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			atomic.AddInt64(&hits, 1)
+		}), plan)
+		for i := 0; i < 4; i++ {
+			resp, err := c.Do(http.MethodGet, "peer", "/", false)
+			if err != nil {
+				seq = append(seq, false)
+				continue
+			}
+			resp.Body.Close()
+			seq = append(seq, true)
+		}
+		return seq, atomic.LoadInt64(&hits)
+	}
+	seq1, hits1 := run()
+	seq2, hits2 := run()
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if seq1[i] != want[i] || seq2[i] != want[i] {
+			t.Fatalf("drop sequence %v / %v, want %v", seq1, seq2, want)
+		}
+	}
+	if hits1 != 2 || hits2 != 2 {
+		t.Fatalf("peer served %d/%d requests, want 2 each (drops must not dial)", hits1, hits2)
+	}
+}
+
+// TestPeerFaultInjected500 checks the fail kind: the far side appears
+// to answer 500 without the request ever leaving this node.
+func TestPeerFaultInjected500(t *testing.T) {
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointPeer, Kind: fault.KindFail, Count: 1},
+	}}
+	var hits int64
+	c, _ := twoNodeCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+	}), plan)
+	resp, err := c.Do(http.MethodGet, "peer", "/", false)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want injected 500", resp.StatusCode)
+	}
+	if atomic.LoadInt64(&hits) != 0 {
+		t.Fatal("injected 500 reached the real peer")
+	}
+}
+
+// TestPeerFaultUnitFilter checks that a drop rule naming one node
+// partitions only that node.
+func TestPeerFaultUnitFilter(t *testing.T) {
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointPeer, Kind: fault.KindDrop, Unit: "other"},
+	}}
+	c, _ := twoNodeCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}), plan)
+	resp, err := c.Do(http.MethodGet, "peer", "/", false)
+	if err != nil {
+		t.Fatalf("rule for %q must not drop requests to %q: %v", "other", "peer", err)
+	}
+	resp.Body.Close()
+}
+
+// TestForwardSubmitRelaysResponse checks that the owner's HTTP answer
+// — status, Retry-After, body — comes back verbatim, with the
+// forwarded marker set so the owner never re-forwards.
+func TestForwardSubmitRelaysResponse(t *testing.T) {
+	var gotHeader string
+	c, _ := twoNodeCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(ForwardedHeader)
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full"}`)
+	}), nil)
+	code, header, body, err := c.ForwardSubmit("peer", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("ForwardSubmit: %v", err)
+	}
+	if code != http.StatusTooManyRequests || header.Get("Retry-After") != "7" {
+		t.Fatalf("code %d Retry-After %q, want 429/7", code, header.Get("Retry-After"))
+	}
+	if string(body) != `{"error":"queue full"}` {
+		t.Fatalf("body %q not relayed verbatim", body)
+	}
+	if gotHeader != "self" {
+		t.Fatalf("forwarded marker %q, want origin node ID", gotHeader)
+	}
+}
+
+// TestForwardSubmitUnreachable checks that transport failure — here a
+// full partition from an armed drop plan — surfaces as an error after
+// the retry budget, which is the caller's cue to degrade to local
+// execution.
+func TestForwardSubmitUnreachable(t *testing.T) {
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointPeer, Kind: fault.KindDrop},
+	}}
+	var hits int64
+	c, _ := twoNodeCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&hits, 1)
+	}), plan)
+	if _, _, _, err := c.ForwardSubmit("peer", []byte(`{}`)); err == nil {
+		t.Fatal("partitioned forward reported success")
+	}
+	if atomic.LoadInt64(&hits) != 0 {
+		t.Fatal("partitioned forward reached the peer")
+	}
+}
+
+// TestFetchStoreMiss checks that a peer 404 is a clean miss, not an
+// error.
+func TestFetchStoreMiss(t *testing.T) {
+	c, _ := twoNodeCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}), nil)
+	b, ok, err := c.FetchStore("peer", "deadbeef")
+	if err != nil || ok || b != nil {
+		t.Fatalf("FetchStore miss = (%v, %v, %v), want (nil, false, nil)", b, ok, err)
+	}
+}
+
+// TestLivenessReportsPartition checks that /healthz peer probing
+// rides the fault seam: an armed partition shows the peer as
+// unreachable even though its process is healthy.
+func TestLivenessReportsPartition(t *testing.T) {
+	plan := &fault.Plan{Rules: []fault.Rule{
+		{Point: fault.PointPeer, Kind: fault.KindDrop, Unit: "peer"},
+	}}
+	c, _ := twoNodeCluster(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}), plan)
+	live := c.Liveness()
+	if len(live) != 1 {
+		t.Fatalf("liveness reported %d peers, want 1 (self excluded)", len(live))
+	}
+	if got := live["peer"]; got == "ok" || got == "" {
+		t.Fatalf("partitioned peer reported %q, want unreachable", got)
+	}
+}
+
+// TestNewValidation checks the cluster constructor's error cases and
+// the nil-config single-node path.
+func TestNewValidation(t *testing.T) {
+	if c, err := New(nil, nil); c != nil || err != nil {
+		t.Fatalf("New(nil) = (%v, %v), want (nil, nil)", c, err)
+	}
+	if _, err := New(&Config{NodeID: "a", Peers: map[string]string{"b": "http://x"}}, nil); err == nil {
+		t.Error("membership missing own node accepted")
+	}
+	if _, err := New(&Config{NodeID: "a", Peers: map[string]string{"a": ""}}, nil); err == nil {
+		t.Error("empty peer URL accepted")
+	}
+}

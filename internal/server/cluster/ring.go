@@ -1,0 +1,138 @@
+// Package cluster is acelabd's cluster plane: a consistent-hash ring
+// over daemon peers keyed by SpecHash, plus the peer HTTP client the
+// server uses to route work across it. Any node accepts any
+// submission; a node that does not own the spec's content address
+// forwards it to the hash-owner (with a deadline and bounded
+// backoff), so every distinct experiment executes — and caches — once
+// cluster-wide. Before executing, a worker that is not the owner asks
+// the owner's content-addressed store and adopts a durable hit
+// byte-identically. When the owner is unreachable (a partition, a
+// crash), routing degrades to local execution: the cluster serves
+// slightly more slowly and caches redundantly, but never answers
+// wrongly and never refuses work it can do alone.
+//
+// All outbound peer traffic threads the service-level fault injector
+// (fault.Service's peer point), so partitions, peer latency, and peer
+// 500s are deterministic and testable.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is the number of virtual points each node contributes to the
+// ring. More points smooth the ownership distribution; 64 keeps the
+// per-node share within a few percent of fair for small clusters while
+// the ring stays tiny.
+const vnodes = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the node that owns the arc ending there.
+type ringPoint struct {
+	pos  uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over node IDs. Keys (spec hashes)
+// map to the first virtual point at or after the key's position,
+// wrapping at the top — so adding or removing one node moves only the
+// keys on the arcs that node gains or loses, and every other key
+// keeps its owner. A Ring is immutable once built; membership changes
+// build a new one.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+// NewRing builds a ring over the given node IDs (duplicates are
+// collapsed). At least one node is required.
+func NewRing(nodes []string) (*Ring, error) {
+	seen := make(map[string]bool, len(nodes))
+	var uniq []string
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{pos: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		// Position ties (vanishingly rare) break on node ID so every
+		// member computes the identical ring.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// hash64 positions a string on the ring: FNV-1a, then a 64-bit
+// finalizer (MurmurHash3's fmix64). Raw FNV avalanches poorly into
+// the high bits on short keys, and ring positions are compared most-
+// significant-bit first — without the finalizer, vnode positions
+// cluster and one node can own over half the circle.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the node that owns a key — the first virtual point at
+// or after the key's position, wrapping past the top of the circle.
+func (r *Ring) Owner(key string) string {
+	pos := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Size returns the number of member nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Share returns the fraction of the hash space the node owns — the
+// summed length of its arcs over 2^64. Shares over all members sum
+// to 1; an unknown node owns 0.
+func (r *Ring) Share(node string) float64 {
+	if len(r.points) == 0 {
+		return 0
+	}
+	var owned float64
+	prev := r.points[len(r.points)-1].pos // the wrap-around arc start
+	for _, p := range r.points {
+		// Unsigned subtraction wraps, so the first arc (through the
+		// top of the circle) comes out right too.
+		if p.node == node {
+			owned += float64(p.pos - prev)
+		}
+		prev = p.pos
+	}
+	return owned / (1 << 64)
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// keys returns n distinct SpecHash-shaped keys.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+// TestRingDeterministic checks that every member computes the same
+// ring: two independently built rings over the same membership agree
+// on every key, regardless of the node-list order they were given.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"n0", "n1", "n2"})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	b, err := NewRing([]string{"n2", "n0", "n1", "n0"}) // shuffled, with a duplicate
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("sizes %d/%d, want 3 (duplicates collapse)", a.Size(), b.Size())
+	}
+	for _, k := range keys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, ao, bo)
+		}
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hash contract under
+// join and leave: removing a node moves only the keys it owned (every
+// other key keeps its owner), and adding a node moves only the keys
+// the new node takes.
+func TestRingMinimalMovement(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	full, err := NewRing(nodes)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	ks := keys(2000)
+
+	// Leave: drop n2.
+	smaller, err := NewRing([]string{"n0", "n1", "n3"})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	moved := 0
+	for _, k := range ks {
+		before, after := full.Owner(k), smaller.Owner(k)
+		if before != "n2" && before != after {
+			t.Fatalf("key %s moved %s→%s though its owner never left", k, before, after)
+		}
+		if before == "n2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the departed node — test vacuous")
+	}
+
+	// Join: add n4 to the original four.
+	bigger, err := NewRing(append(append([]string(nil), nodes...), "n4"))
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	gained := 0
+	for _, k := range ks {
+		before, after := full.Owner(k), bigger.Owner(k)
+		if after != "n4" && before != after {
+			t.Fatalf("key %s moved %s→%s though the new node did not take it", k, before, after)
+		}
+		if after == "n4" {
+			gained++
+		}
+	}
+	if gained == 0 {
+		t.Fatal("joined node took no keys — test vacuous")
+	}
+	// With 64 vnodes the new node's take should be in the
+	// neighborhood of its fair 1/5 share, not the whole space.
+	if frac := float64(gained) / float64(len(ks)); frac > 0.5 {
+		t.Fatalf("joined node took %.0f%% of keys, movement is not minimal", 100*frac)
+	}
+}
+
+// TestRingShares checks the ownership gauge: shares over the
+// membership sum to 1, every node owns a reasonably fair arc at 64
+// vnodes, and an unknown node owns nothing.
+func TestRingShares(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := NewRing(nodes)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	var sum float64
+	for _, n := range nodes {
+		sh := r.Share(n)
+		if sh < 0.05 || sh > 0.60 {
+			t.Errorf("node %s share %.3f, outside any plausible fairness band", n, sh)
+		}
+		sum += sh
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+	if sh := r.Share("ghost"); sh != 0 {
+		t.Fatalf("unknown node share %v, want 0", sh)
+	}
+
+	// A single-node ring owns the whole circle (the uint64 wrap case).
+	solo, err := NewRing([]string{"only"})
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if sh := solo.Share("only"); math.Abs(sh-1) > 1e-9 {
+		t.Fatalf("solo share %v, want 1", sh)
+	}
+}
+
+// TestNewRingValidation checks the constructor's error cases.
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Error("empty node ID accepted")
+	}
+}

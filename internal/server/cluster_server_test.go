@@ -1,0 +1,465 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"acedo/internal/fault"
+	"acedo/internal/server/cluster"
+	"acedo/internal/server/store"
+)
+
+// nodeName names cluster test members n0, n1, ...
+func nodeName(i int) string { return fmt.Sprintf("n%d", i) }
+
+// clusterServers boots n Servers wired into one consistent-hash ring
+// over real HTTP listeners. The listeners exist before the Servers
+// (membership URLs are part of Config), so each listener indirects
+// through a slot filled in once its Server is built. mut, when
+// non-nil, adjusts each node's Config before construction.
+func clusterServers(t *testing.T, n int, mut func(i int, cfg *Config)) []*Server {
+	t.Helper()
+	srvs := make([]*Server, n)
+	hts := make([]*httptest.Server, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		i := i
+		hts[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			s := srvs[i]
+			mu.Unlock()
+			if s == nil {
+				http.Error(w, "booting", http.StatusServiceUnavailable)
+				return
+			}
+			s.ServeHTTP(w, r)
+		}))
+		t.Cleanup(hts[i].Close)
+	}
+	peers := make(map[string]string, n)
+	for i := range hts {
+		peers[nodeName(i)] = hts[i].URL
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			Workers: 2,
+			Cluster: &cluster.Config{
+				NodeID:         nodeName(i),
+				Peers:          peers,
+				ForwardRetries: 1,
+				ForwardTimeout: 10 * time.Second,
+			},
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(node %d): %v", i, err)
+		}
+		t.Cleanup(func() {
+			done := make(chan struct{})
+			time.AfterFunc(30*time.Second, func() { close(done) })
+			if err := s.Shutdown(done); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+		})
+		mu.Lock()
+		srvs[i] = s
+		mu.Unlock()
+	}
+	return srvs
+}
+
+// baseOf returns the base URL a Server is listening on.
+func baseOf(s *Server) string {
+	return s.cluster.URL(s.cluster.Self())
+}
+
+// specOwnedBy searches the max_instr space for a spec whose content
+// address the given node owns, returning the spec and its hash.
+func specOwnedBy(t *testing.T, ring *cluster.Ring, owner string) (spec, hash string) {
+	t.Helper()
+	for n := 0; n < 100000; n++ {
+		spec := fmt.Sprintf(`{"benchmarks":["compress"],"max_instr":%d}`, 500000+n)
+		var js JobSpec
+		if err := json.Unmarshal([]byte(spec), &js); err != nil {
+			t.Fatalf("spec: %v", err)
+		}
+		js, err := js.Normalize()
+		if err != nil {
+			t.Fatalf("normalize: %v", err)
+		}
+		h, err := SpecHash(js)
+		if err != nil {
+			t.Fatalf("SpecHash: %v", err)
+		}
+		if ring.Owner(h) == owner {
+			return spec, h
+		}
+	}
+	t.Fatalf("no spec owned by %s in search range", owner)
+	return "", ""
+}
+
+// closedCh returns an already-closed channel, making stubRun return
+// immediately.
+func closedCh() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// TestClusterForwarding submits a spec to a non-owner and checks the
+// full routed path: the submission lands on the hash-owner, the
+// client-facing job ID is node-qualified, status polls and the result
+// proxy through the origin node, a repeat from a third node is a
+// cluster-wide cache hit, and the forward counters on both sides
+// moved.
+func TestClusterForwarding(t *testing.T) {
+	srvs := clusterServers(t, 3, func(i int, cfg *Config) {})
+	for _, s := range srvs {
+		stubRun(s, closedCh())
+	}
+	spec, hash := specOwnedBy(t, srvs[0].cluster.Ring(), "n1")
+
+	code, _, body := postJob(t, baseOf(srvs[0]), spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit via non-owner: status %d\n%s", code, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if !strings.HasSuffix(st.ID, "@n1") {
+		t.Fatalf("job ID %q not qualified with the owner", st.ID)
+	}
+	if st.SpecHash != hash {
+		t.Fatalf("spec hash %q, want %q", st.SpecHash, hash)
+	}
+	done := waitState(t, baseOf(srvs[0]), st.ID, "")
+	if done.State != StateDone {
+		t.Fatalf("job %s: %s (%s)", st.ID, done.State, done.Error)
+	}
+	if code, res := getBody(t, baseOf(srvs[0]), "/v1/jobs/"+st.ID+"/result"); code != http.StatusOK || string(res) != "{}\n" {
+		t.Fatalf("proxied result: %d %q", code, res)
+	}
+
+	// Repeat from the third node: forwarded to the owner, answered
+	// from its cache, 200 with cached set.
+	code, _, body = postJob(t, baseOf(srvs[2]), spec)
+	if code != http.StatusOK {
+		t.Fatalf("repeat via third node: status %d, want cache-hit 200\n%s", code, body)
+	}
+	var hit JobStatus
+	if err := json.Unmarshal(body, &hit); err != nil || !hit.Cached {
+		t.Fatalf("repeat not served from cache: %s", body)
+	}
+
+	var m0, m1 Metrics
+	getJSON(t, baseOf(srvs[0]), "/metrics", &m0)
+	getJSON(t, baseOf(srvs[1]), "/metrics", &m1)
+	if m0.JobsForwarded != 1 {
+		t.Errorf("origin jobs_forwarded = %d, want 1", m0.JobsForwarded)
+	}
+	if m1.JobsForwardReceived != 2 {
+		t.Errorf("owner jobs_forward_received = %d, want 2", m1.JobsForwardReceived)
+	}
+	if m1.InstrSimulated != 0 {
+		// The stub reports no instructions; the gauge only moves if a
+		// real execution slipped through somewhere.
+		t.Errorf("owner instr_simulated = %d, want 0", m1.InstrSimulated)
+	}
+	if m0.ClusterNode != "n0" || m0.ClusterSize != 3 || m0.ClusterOwnedPct <= 0 {
+		t.Errorf("cluster gauges = %q/%d/%.1f", m0.ClusterNode, m0.ClusterSize, m0.ClusterOwnedPct)
+	}
+}
+
+// TestClusterForwardLoopPrevention checks that a submission already
+// carrying the forwarded marker is never forwarded again, even by a
+// node that does not own it: it executes locally, which bounds any
+// routing disagreement at one extra hop.
+func TestClusterForwardLoopPrevention(t *testing.T) {
+	srvs := clusterServers(t, 3, nil)
+	for _, s := range srvs {
+		stubRun(s, closedCh())
+	}
+	spec, _ := specOwnedBy(t, srvs[0].cluster.Ring(), "n1")
+
+	req, err := http.NewRequest(http.MethodPost, baseOf(srvs[0])+"/v1/jobs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "n2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if strings.Contains(st.ID, "@") {
+		t.Fatalf("forwarded submission re-forwarded: job ID %q", st.ID)
+	}
+	waitState(t, baseOf(srvs[0]), st.ID, "")
+	var m0, m1 Metrics
+	getJSON(t, baseOf(srvs[0]), "/metrics", &m0)
+	getJSON(t, baseOf(srvs[1]), "/metrics", &m1)
+	if m0.JobsForwarded != 0 || m0.JobsForwardReceived != 1 {
+		t.Errorf("non-owner counters forwarded=%d received=%d, want 0/1", m0.JobsForwarded, m0.JobsForwardReceived)
+	}
+	if m1.JobsForwardReceived != 0 {
+		t.Errorf("owner received %d forwards, want 0", m1.JobsForwardReceived)
+	}
+}
+
+// TestClusterPeerStoreAdoption makes a non-owner execute a spec whose
+// result the owner already holds, and checks it adopts the owner's
+// durable entry byte-identically — on disk and on the wire — instead
+// of re-executing.
+func TestClusterPeerStoreAdoption(t *testing.T) {
+	dirs := make([]string, 3)
+	srvs := clusterServers(t, 3, func(i int, cfg *Config) {
+		dirs[i] = t.TempDir()
+		cfg.DataDir = dirs[i]
+	})
+	stubRun(srvs[1], closedCh())
+	// The non-owner's run function screams if it ever executes:
+	// adoption must answer before execution starts.
+	srvs[0].runFn = func(spec JobSpec, sink *eventLog, cancel <-chan struct{}) ([]byte, []RunMeta, error) {
+		return []byte("WRONG\n"), nil, nil
+	}
+	spec, hash := specOwnedBy(t, srvs[0].cluster.Ring(), "n1")
+
+	// Seed the owner.
+	code, _, body := postJob(t, baseOf(srvs[1]), spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("seed submit: %d\n%s", code, body)
+	}
+	var seeded JobStatus
+	json.Unmarshal(body, &seeded)
+	waitState(t, baseOf(srvs[1]), seeded.ID, "")
+	_, ownerBytes := getBody(t, baseOf(srvs[1]), "/v1/jobs/"+seeded.ID+"/result")
+
+	// Force the non-owner to take the job (forwarded marker disables
+	// routing), then watch it adopt.
+	req, _ := http.NewRequest(http.MethodPost, baseOf(srvs[0])+"/v1/jobs", strings.NewReader(spec))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "n2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	final := waitState(t, baseOf(srvs[0]), st.ID, "")
+	if final.State != StateDone || !final.Cached {
+		t.Fatalf("adopted job state=%s cached=%v, want done/cached", final.State, final.Cached)
+	}
+	_, adoptedBytes := getBody(t, baseOf(srvs[0]), "/v1/jobs/"+st.ID+"/result")
+	if !bytes.Equal(adoptedBytes, ownerBytes) {
+		t.Fatalf("adopted result differs from owner's:\n%q\nvs\n%q", adoptedBytes, ownerBytes)
+	}
+	if string(adoptedBytes) == "WRONG\n" {
+		t.Fatal("non-owner executed instead of adopting")
+	}
+
+	// The durable entries must be byte-identical files.
+	ownerFile, err := os.ReadFile(filepath.Join(dirs[1], "results", hash+".res"))
+	if err != nil {
+		t.Fatalf("owner store file: %v", err)
+	}
+	adoptedFile, err := os.ReadFile(filepath.Join(dirs[0], "results", hash+".res"))
+	if err != nil {
+		t.Fatalf("adopted store file: %v", err)
+	}
+	if !bytes.Equal(ownerFile, adoptedFile) {
+		t.Fatal("adopted store entry is not byte-identical to the owner's")
+	}
+
+	var m0 Metrics
+	getJSON(t, baseOf(srvs[0]), "/metrics", &m0)
+	if m0.PeerStoreHits != 1 {
+		t.Errorf("peer_store_hits = %d, want 1", m0.PeerStoreHits)
+	}
+	if m0.InstrSimulated != 0 {
+		t.Errorf("instr_simulated = %d after adoption, want 0", m0.InstrSimulated)
+	}
+}
+
+// TestClusterAdoptionQuarantinesCorrupt points a node at a "peer"
+// that serves corrupt store bytes and checks the node quarantines the
+// payload and executes normally — a bad peer entry is never served
+// and never trusted.
+func TestClusterAdoptionQuarantinesCorrupt(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/cluster/store/") {
+			w.Write([]byte("ACR1 this is not a valid store entry"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer fake.Close()
+
+	dir := t.TempDir()
+	var held *Server
+	real := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		held.ServeHTTP(w, r)
+	}))
+	defer real.Close()
+	s, err := New(Config{
+		Workers: 1,
+		DataDir: dir,
+		Cluster: &cluster.Config{
+			NodeID:         "me",
+			Peers:          map[string]string{"me": real.URL, "evil": fake.URL},
+			ForwardRetries: 1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	held = s
+	t.Cleanup(func() {
+		done := make(chan struct{})
+		time.AfterFunc(30*time.Second, func() { close(done) })
+		s.Shutdown(done)
+	})
+	stubRun(s, closedCh())
+	spec, hash := specOwnedBy(t, s.cluster.Ring(), "evil")
+
+	// The forwarded marker pins execution here; adoption consults the
+	// "owner" (the corrupt peer) first.
+	req, _ := http.NewRequest(http.MethodPost, real.URL+"/v1/jobs", strings.NewReader(spec))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "evil")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	final := waitState(t, real.URL, st.ID, "")
+	if final.State != StateDone || final.Cached {
+		t.Fatalf("job state=%s cached=%v, want executed done", final.State, final.Cached)
+	}
+	if _, res := getBody(t, real.URL, "/v1/jobs/"+st.ID+"/result"); string(res) != "{}\n" {
+		t.Fatalf("result %q, want the locally executed stub result", res)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "results", "quarantine", hash+".res")); err != nil {
+		t.Errorf("corrupt peer payload not quarantined: %v", err)
+	}
+	var m Metrics
+	getJSON(t, real.URL, "/metrics", &m)
+	if m.PeerStoreHits != 0 || m.PeerStoreMisses == 0 {
+		t.Errorf("peer store hits=%d misses=%d, want 0/>0", m.PeerStoreHits, m.PeerStoreMisses)
+	}
+}
+
+// TestClusterPartitionDegrades arms a full outbound partition on one
+// node and checks that a submission it does not own still succeeds:
+// the forward fails deterministically, the node executes locally, and
+// the result is correct — degraded, never wrong, never refused.
+func TestClusterPartitionDegrades(t *testing.T) {
+	srvs := clusterServers(t, 3, func(i int, cfg *Config) {
+		if i == 0 {
+			cfg.ServiceFaults = &fault.Plan{Rules: []fault.Rule{
+				{Point: fault.PointPeer, Kind: fault.KindDrop},
+			}}
+		}
+	})
+	for _, s := range srvs {
+		stubRun(s, closedCh())
+	}
+	spec, _ := specOwnedBy(t, srvs[0].cluster.Ring(), "n1")
+
+	code, _, body := postJob(t, baseOf(srvs[0]), spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("partitioned submit: %d\n%s", code, body)
+	}
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	if strings.Contains(st.ID, "@") {
+		t.Fatalf("partitioned node forwarded anyway: %q", st.ID)
+	}
+	final := waitState(t, baseOf(srvs[0]), st.ID, "")
+	if final.State != StateDone {
+		t.Fatalf("degraded job %s: %s (%s)", st.ID, final.State, final.Error)
+	}
+	if _, res := getBody(t, baseOf(srvs[0]), "/v1/jobs/"+st.ID+"/result"); string(res) != "{}\n" {
+		t.Fatalf("degraded result %q", res)
+	}
+	var m0, m1 Metrics
+	getJSON(t, baseOf(srvs[0]), "/metrics", &m0)
+	getJSON(t, baseOf(srvs[1]), "/metrics", &m1)
+	if m0.ForwardFailures == 0 {
+		t.Error("forward_failures did not move")
+	}
+	if m1.JobsForwardReceived != 0 {
+		t.Errorf("owner received %d forwards through a partition", m1.JobsForwardReceived)
+	}
+
+	// The partitioned node's healthz sees every peer as unreachable;
+	// a healthy node sees its peers as ok.
+	var hz struct {
+		Peers map[string]string `json:"peers"`
+	}
+	getJSON(t, baseOf(srvs[0]), "/healthz", &hz)
+	for id, status := range hz.Peers {
+		if !strings.HasPrefix(status, "unreachable") {
+			t.Errorf("partitioned node sees %s as %q", id, status)
+		}
+	}
+	getJSON(t, baseOf(srvs[1]), "/healthz", &hz)
+	if hz.Peers["n2"] != "ok" {
+		t.Errorf("healthy node sees n2 as %q, want ok", hz.Peers["n2"])
+	}
+}
+
+// TestClusterStoreEndpointServesEncoded checks the peer-store
+// endpoint round-trip: a finished job's entry fetched over HTTP
+// decodes to the exact result bytes, and an unknown hash is 404.
+func TestClusterStoreEndpointServesEncoded(t *testing.T) {
+	srvs := clusterServers(t, 2, nil)
+	stubRun(srvs[0], closedCh())
+	spec, hash := specOwnedBy(t, srvs[0].cluster.Ring(), "n0")
+	code, _, body := postJob(t, baseOf(srvs[0]), spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", code, body)
+	}
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	waitState(t, baseOf(srvs[0]), st.ID, "")
+
+	code, raw := getBody(t, baseOf(srvs[0]), "/v1/cluster/store/"+hash)
+	if code != http.StatusOK {
+		t.Fatalf("store endpoint: %d", code)
+	}
+	ent, ver, err := store.DecodeEntry(raw)
+	if err != nil {
+		t.Fatalf("decode served entry: %v", err)
+	}
+	if ver != engineVersion() {
+		t.Errorf("served version %q, want %q", ver, engineVersion())
+	}
+	if string(ent.Result) != "{}\n" {
+		t.Errorf("served result %q", ent.Result)
+	}
+	if code, _ := getBody(t, baseOf(srvs[0]), "/v1/cluster/store/no-such-hash"); code != http.StatusNotFound {
+		t.Errorf("unknown hash: %d, want 404", code)
+	}
+}

@@ -81,6 +81,26 @@ type Metrics struct {
 	TraceCacheDirect     uint64 `json:"trace_cache_direct,omitempty"`
 	TraceCacheSummarized uint64 `json:"trace_cache_summarized,omitempty"`
 
+	// Cluster gauges, present only when the daemon runs with -peers
+	// (single-node /metrics stays byte-identical). ClusterNode is this
+	// node's ring identity, ClusterSize the member count, and
+	// ClusterOwnedPct the percentage of the hash space this node owns.
+	// JobsForwarded counts submissions this node routed to their
+	// hash-owner; JobsForwardReceived counts forwarded submissions that
+	// landed here; ForwardFailures counts forwards that exhausted their
+	// retries and degraded to local execution. PeerStoreHits counts
+	// results adopted byte-identically from the owner's store before
+	// executing; PeerStoreMisses counts adoption attempts that came back
+	// empty (or unreachable) and fell through to execution.
+	ClusterNode         string  `json:"cluster_node,omitempty"`
+	ClusterSize         int     `json:"cluster_size,omitempty"`
+	ClusterOwnedPct     float64 `json:"cluster_owned_pct,omitempty"`
+	JobsForwarded       uint64  `json:"jobs_forwarded,omitempty"`
+	JobsForwardReceived uint64  `json:"jobs_forward_received,omitempty"`
+	ForwardFailures     uint64  `json:"forward_failures,omitempty"`
+	PeerStoreHits       uint64  `json:"peer_store_hits,omitempty"`
+	PeerStoreMisses     uint64  `json:"peer_store_misses,omitempty"`
+
 	// InstrSimulated totals the retired instructions of every executed
 	// run (cache hits add nothing — the cache-determinism tests key on
 	// this staying put across repeated submissions).
@@ -118,6 +138,12 @@ type metrics struct {
 	instr     uint64
 	storeHits uint64
 
+	forwarded       uint64
+	forwardReceived uint64
+	forwardFailures uint64
+	peerHits        uint64
+	peerMisses      uint64
+
 	benchWall    map[string]*Histogram
 	optimizeBest map[string]*OptimizeStatus
 
@@ -148,6 +174,39 @@ func (m *metrics) storeHit() {
 	m.mu.Unlock()
 }
 
+// forwardOut counts one submission routed to its hash-owner.
+func (m *metrics) forwardOut() {
+	m.mu.Lock()
+	m.forwarded++
+	m.mu.Unlock()
+}
+
+// forwardIn counts one forwarded submission landing on this node.
+func (m *metrics) forwardIn() {
+	m.mu.Lock()
+	m.forwardReceived++
+	m.mu.Unlock()
+}
+
+// forwardFailed counts one forward that exhausted its retries and
+// degraded to local execution.
+func (m *metrics) forwardFailed() {
+	m.mu.Lock()
+	m.forwardFailures++
+	m.mu.Unlock()
+}
+
+// peerStore counts one peer-store adoption attempt's outcome.
+func (m *metrics) peerStore(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.peerHits++
+	} else {
+		m.peerMisses++
+	}
+	m.mu.Unlock()
+}
+
 // jobSubmitted counts one accepted submission (cached hits included).
 func (m *metrics) jobSubmitted(cached bool) {
 	m.mu.Lock()
@@ -155,6 +214,17 @@ func (m *metrics) jobSubmitted(cached bool) {
 	if cached {
 		m.cached++
 	}
+	m.mu.Unlock()
+}
+
+// jobAdopted records one job finished by adopting the hash-owner's
+// stored result: completed and served from cache, with no wall-time
+// observation, no EWMA update, and — the cluster's cache-determinism
+// contract — no instruction accounting, because nothing executed.
+func (m *metrics) jobAdopted() {
+	m.mu.Lock()
+	m.completed++
+	m.cached++
 	m.mu.Unlock()
 }
 
@@ -243,7 +313,14 @@ func (m *metrics) snapshot() Metrics {
 		JobsCached:     m.cached,
 		StoreHits:      m.storeHits,
 		InstrSimulated: m.instr,
-		BenchWallMS:    make(map[string]*Histogram, len(m.benchWall)),
+
+		JobsForwarded:       m.forwarded,
+		JobsForwardReceived: m.forwardReceived,
+		ForwardFailures:     m.forwardFailures,
+		PeerStoreHits:       m.peerHits,
+		PeerStoreMisses:     m.peerMisses,
+
+		BenchWallMS: make(map[string]*Histogram, len(m.benchWall)),
 	}
 	for name, h := range m.benchWall {
 		cp := *h

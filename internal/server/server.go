@@ -43,6 +43,7 @@ import (
 	"acedo/internal/experiment"
 	"acedo/internal/fault"
 	"acedo/internal/rtrace"
+	"acedo/internal/server/cluster"
 	"acedo/internal/server/store"
 )
 
@@ -107,9 +108,17 @@ type Config struct {
 	DataDir string
 	// ServiceFaults, when non-nil, arms a deterministic service-level
 	// fault plan (internal/fault): injected store write/fsync errors,
-	// torn writes, HTTP handler latency and 500s, and event-stream
-	// disconnects. A nil plan injects nothing and costs nothing.
+	// torn writes, HTTP handler latency and 500s, event-stream
+	// disconnects, and peer-request drops/delays/500s. A nil plan
+	// injects nothing and costs nothing.
 	ServiceFaults *fault.Plan
+	// Cluster, when non-nil, joins this daemon to a consistent-hash
+	// ring of peers (internal/server/cluster): submissions whose
+	// SpecHash another node owns are forwarded there, workers consult
+	// the owner's store before executing, and job sub-resources proxy
+	// across nodes. A nil Cluster is the single-node mode, byte-
+	// identical to a daemon built before the cluster plane existed.
+	Cluster *cluster.Config
 	// Log, when non-nil, receives one line per job state change.
 	Log io.Writer
 }
@@ -219,6 +228,10 @@ type Server struct {
 	svcFaults       *fault.Service
 	journalReplayed uint64
 
+	// cluster is the compiled cluster plane: nil without
+	// Config.Cluster, which keeps every single-node path branch-cheap.
+	cluster *cluster.Cluster
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for eviction
@@ -240,6 +253,10 @@ func New(cfg Config) (*Server, error) {
 	svc, err := fault.NewService(cfg.ServiceFaults)
 	if err != nil {
 		return nil, fmt.Errorf("server: service fault plan: %w", err)
+	}
+	clu, err := cluster.New(cfg.Cluster, svc)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
 	var (
 		st      *store.Store
@@ -268,6 +285,7 @@ func New(cfg Config) (*Server, error) {
 		store:     st,
 		journal:   journal,
 		svcFaults: svc,
+		cluster:   clu,
 		jobs:      make(map[string]*job),
 	}
 	s.runFn = s.runJob
@@ -279,6 +297,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/cluster/store/{hash}", s.handleClusterStore)
 	if st != nil {
 		rep := st.Scan()
 		s.logf("store: %d results recovered, %d quarantined, %d stale (%s)",
@@ -396,6 +415,16 @@ func (s *Server) Shutdown(done <-chan struct{}) error {
 	}
 }
 
+// ClusterRing returns the consistent-hash ring this node routes over,
+// or nil for a single-node server. Callers can combine it with
+// SpecHash to predict which node owns a spec.
+func (s *Server) ClusterRing() *cluster.Ring {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.Ring()
+}
+
 // Draining reports whether Shutdown has begun.
 func (s *Server) Draining() bool {
 	s.mu.Lock()
@@ -430,6 +459,9 @@ func (s *Server) execute(j *job) {
 	}
 	j.state = StateRunning
 	j.mu.Unlock()
+	if s.adoptFromOwner(j) {
+		return
+	}
 	s.logf("job %s: running (benchmarks=%d schemes=%v)", j.id, len(j.spec.Benchmarks), j.spec.Schemes)
 
 	start := time.Now()
@@ -575,6 +607,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	if s.forwardIfRemote(w, r, spec, hash) {
+		return
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -680,9 +715,15 @@ func (s *Server) register(j *job) {
 	s.order = kept
 }
 
-// jobByID resolves a path's job, writing 404 when unknown.
+// jobByID resolves a path's job, writing 404 when unknown. A
+// node-qualified ID ("j3@node-a") naming this node resolves locally;
+// IDs naming other nodes never reach here (the handlers proxy them
+// first).
 func (s *Server) jobByID(w http.ResponseWriter, r *http.Request) *job {
 	id := r.PathValue("id")
+	if local, node := splitJobID(id); node != "" && s.cluster != nil && node == s.cluster.Self() {
+		id = local
+	}
 	s.mu.Lock()
 	j := s.jobs[id]
 	s.mu.Unlock()
@@ -714,6 +755,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 // handleStatus is GET /v1/jobs/{id}.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if s.proxyJob(w, r, "") {
+		return
+	}
 	if j := s.jobByID(w, r); j != nil {
 		writeJSON(w, http.StatusOK, j.status())
 	}
@@ -723,6 +767,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // verbatim. 202 while the job is queued or running, 409 for failed or
 // canceled jobs.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.proxyJob(w, r, "/result") {
+		return
+	}
 	j := s.jobByID(w, r)
 	if j == nil {
 		return
@@ -750,6 +797,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // instead of re-reading from the top. Jobs submitted without
 // "events": true produce an empty stream.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.proxyJob(w, r, "/events") {
+		return
+	}
 	j := s.jobByID(w, r)
 	if j == nil {
 		return
@@ -802,6 +852,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // finalise when the engine's chunked drive notices. Finished jobs are
 // left as they are (the response reports their terminal state).
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if s.proxyJob(w, r, "") {
+		return
+	}
 	j := s.jobByID(w, r)
 	if j == nil {
 		return
@@ -850,6 +903,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.StoreEntries, m.StoreBytes = s.store.Stats()
 		m.JournalReplayed = s.journalReplayed
 	}
+	if s.cluster != nil {
+		m.ClusterNode = s.cluster.Self()
+		m.ClusterSize = s.cluster.Ring().Size()
+		m.ClusterOwnedPct = 100 * s.cluster.Ring().Share(s.cluster.Self())
+	}
 	writeJSON(w, http.StatusOK, m)
 }
 
@@ -857,21 +915,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // 503 once draining. A durable daemon additionally reports its store
 // integrity — how the startup scan went (entries recovered,
 // quarantined, stale) plus any entries quarantined at runtime — and
-// how many journaled jobs the last boot requeued.
+// how many journaled jobs the last boot requeued. A clustered daemon
+// also reports its ring identity and each peer's probed liveness
+// ("ok", "draining", or "unreachable: <cause>"); an unreachable peer
+// degrades routing, not this node's own readiness, so the status code
+// reflects only local state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	if s.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	out := struct {
-		Status          string        `json:"status"`
-		Store           *store.Report `json:"store,omitempty"`
-		JournalReplayed *uint64       `json:"journal_replayed,omitempty"`
+		Status          string            `json:"status"`
+		Store           *store.Report     `json:"store,omitempty"`
+		JournalReplayed *uint64           `json:"journal_replayed,omitempty"`
+		ClusterNode     string            `json:"cluster_node,omitempty"`
+		Peers           map[string]string `json:"peers,omitempty"`
 	}{Status: status}
 	if s.store != nil {
 		rep := s.store.Scan()
 		out.Store = &rep
 		out.JournalReplayed = &s.journalReplayed
+	}
+	if s.cluster != nil {
+		out.ClusterNode = s.cluster.Self()
+		// A peer's own probe is answered from local state only — see
+		// cluster.ProbeHeader.
+		if r.Header.Get(cluster.ProbeHeader) == "" {
+			out.Peers = s.cluster.Liveness()
+		}
 	}
 	writeJSON(w, code, out)
 }

@@ -190,8 +190,14 @@ func (s *Store) Put(hash string, e Entry) error {
 		return nil
 	}
 	s.mu.Unlock()
+	return s.putPayload(hash, encode(s.version, e))
+}
 
-	payload := encode(s.version, e)
+// putPayload runs the durable write protocol on already-encoded
+// bytes, threading the write/sync fault seams, and indexes the entry
+// on success. Both Put and AdoptRaw land here, so an adopted peer
+// entry is byte-identical to one written locally.
+func (s *Store) putPayload(hash string, payload []byte) error {
 	switch s.faults.StoreWrite("result") {
 	case fault.StoreErr:
 		return fmt.Errorf("store: write %s: %w", short(hash), fault.ErrInjected)
@@ -274,6 +280,64 @@ func (s *Store) Get(hash string) (Entry, bool, error) {
 	return e, true, nil
 }
 
+// Raw returns the exact on-disk bytes of one entry — CRC header and
+// all — for serving to a peer store. The bytes are validated first;
+// like Get, a file that fails validation is quarantined, dropped, and
+// reported as ErrCorrupt so corruption never crosses the wire as a
+// hit.
+func (s *Store) Raw(hash string) ([]byte, bool, error) {
+	s.mu.Lock()
+	_, ok := s.sizes[hash]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	path := s.path(hash)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.drop(hash, path)
+		return nil, false, fmt.Errorf("store: read %s: %w", short(hash), err)
+	}
+	_, ver, err := decode(b)
+	if err != nil || ver != s.version {
+		s.drop(hash, path)
+		if err == nil {
+			err = fmt.Errorf("%w: engine version changed", ErrCorrupt)
+		}
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// AdoptRaw validates a peer store's encoded entry and, if it checks
+// out, durably stores it byte-identically under hash. Validation
+// happens before any write: a corrupt or torn payload is preserved
+// under quarantine/ for post-mortems and reported as ErrCorrupt —
+// never indexed, never served — and a payload from a different engine
+// version is rejected outright (the peer is healthy, just
+// incompatible; nothing to quarantine). Adopting an already-present
+// hash is a no-op that returns the entry already held — like a
+// re-Put, the incoming bytes are ignored. On success the decoded
+// entry is returned so the caller can serve it without a second disk
+// read.
+func (s *Store) AdoptRaw(hash string, payload []byte) (Entry, error) {
+	if held, ok, err := s.Get(hash); err == nil && ok {
+		return held, nil
+	}
+	e, ver, err := decode(payload)
+	if err != nil {
+		s.quarantineBytes(hash, payload)
+		return Entry{}, fmt.Errorf("store: adopt %s: %w", short(hash), err)
+	}
+	if ver != s.version {
+		return Entry{}, fmt.Errorf("store: adopt %s: engine version mismatch (%q != %q)", short(hash), ver, s.version)
+	}
+	if err := s.putPayload(hash, payload); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
 // drop quarantines a bad file and removes it from the index.
 func (s *Store) drop(hash, path string) {
 	s.quarantine(path)
@@ -300,6 +364,21 @@ func (s *Store) quarantine(path string) {
 	}
 }
 
+// quarantineBytes preserves a never-written payload (e.g. a corrupt
+// entry received from a peer) under quarantine/ for post-mortems,
+// without it ever appearing in the live directory. Best-effort, like
+// quarantine.
+func (s *Store) quarantineBytes(hash string, payload []byte) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return
+	}
+	os.WriteFile(filepath.Join(qdir, hash+".res"), payload, 0o644)
+	s.mu.Lock()
+	s.report.Quarantined++
+	s.mu.Unlock()
+}
+
 // short abbreviates a hash for error strings.
 func short(hash string) string {
 	if len(hash) > 12 {
@@ -318,6 +397,18 @@ func syncDir(dir string) {
 	d.Sync()
 	d.Close()
 }
+
+// EncodeEntry renders one entry in the store's on-disk format under
+// the given engine-version string. The server uses it to serve a
+// memory-cached entry to a peer in the same framing a disk-backed
+// store would, so adopters validate every payload the same way.
+func EncodeEntry(version string, e Entry) []byte { return encode(version, e) }
+
+// DecodeEntry parses and validates store-format bytes, returning the
+// entry and the engine-version string they were written under.
+// Corruption — bad magic, checksum mismatch, truncation — reports
+// ErrCorrupt.
+func DecodeEntry(b []byte) (Entry, string, error) { return decode(b) }
 
 // encode renders one entry:
 //

@@ -337,3 +337,61 @@ func TestJournalInjectedFaults(t *testing.T) {
 		t.Fatalf("pending = %+v, want only the intact accept", pending)
 	}
 }
+
+// TestAdoptRaw covers the peering ingest path: a valid encoded entry
+// from a peer lands byte-identically via the same durable protocol as
+// Put, corrupt bytes are quarantined (never indexed, never served),
+// and an engine-version skew is rejected without quarantine — skew is
+// a deploy state, not damage.
+func TestAdoptRaw(t *testing.T) {
+	src := openTest(t, t.TempDir(), nil)
+	e := Entry{Result: []byte(`{"y":2}` + "\n"), Meta: []byte(`[{"benchmark":"hash"}]`)}
+	if err := src.Put("bb22", e); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok, err := src.Raw("bb22")
+	if err != nil || !ok {
+		t.Fatalf("Raw: ok=%v err=%v", ok, err)
+	}
+
+	dir := t.TempDir()
+	dst := openTest(t, dir, nil)
+	got, err := dst.AdoptRaw("bb22", raw)
+	if err != nil {
+		t.Fatalf("AdoptRaw: %v", err)
+	}
+	if !bytes.Equal(got.Result, e.Result) || !bytes.Equal(got.Meta, e.Meta) {
+		t.Fatalf("adopted entry mismatch: %+v vs %+v", got, e)
+	}
+	onDisk, err := os.ReadFile(filepath.Join(dir, "bb22"+".res"))
+	if err != nil {
+		t.Fatalf("adopted file: %v", err)
+	}
+	if !bytes.Equal(onDisk, raw) {
+		t.Fatal("adopted file is not byte-identical to the peer's encoding")
+	}
+	// Adopting an already-held hash is a no-op returning the entry.
+	if again, err := dst.AdoptRaw("bb22", []byte("different")); err != nil || !bytes.Equal(again.Result, e.Result) {
+		t.Fatalf("re-adopt = (%+v, %v), want existing entry", again, err)
+	}
+
+	// Corrupt payload: quarantined under the hash, error, never indexed.
+	if _, err := dst.AdoptRaw("cc33", []byte("ACR1 garbage")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt adopt error = %v, want ErrCorrupt", err)
+	}
+	if _, ok, _ := dst.Get("cc33"); ok {
+		t.Fatal("corrupt adoption was indexed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "cc33"+".res")); err != nil {
+		t.Fatalf("corrupt adoption not quarantined: %v", err)
+	}
+
+	// Version skew: rejected, but not quarantined — the bytes are fine.
+	skew := EncodeEntry("acelabd/other 9", e)
+	if _, err := dst.AdoptRaw("dd44", skew); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version-skew adopt error = %v, want a plain rejection", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, "dd44"+".res")); err == nil {
+		t.Fatal("version-skewed entry was quarantined")
+	}
+}

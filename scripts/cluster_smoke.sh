@@ -1,0 +1,144 @@
+#!/bin/sh
+# Cluster smoke test (CI): boot a 3-node acelabd ring and check the
+# sharded service's contract end to end —
+#   1. `acelab run '{}'` through any node must be byte-identical to
+#      `acetables -json` (routing never changes an answer);
+#   2. resubmitting the spec to the *other two* nodes must be a
+#      cluster-wide cache hit (cached:true from every node, exactly
+#      two forwards across the ring, instr_simulated frozen);
+#   3. a JSON-array spec must fan out across the endpoints and come
+#      back as one merged JSON array;
+#   4. a node partitioned from every peer (injected {"point":"peer",
+#      "kind":"drop"} plan) must degrade to local execution — same
+#      bytes, never an error — and report its peers unreachable.
+set -eu
+
+GO=${GO:-go}
+TMP=${TMPDIR:-/tmp}
+A0=${A0:-127.0.0.1:8331}
+A1=${A1:-127.0.0.1:8332}
+A2=${A2:-127.0.0.1:8333}
+
+$GO build -o "$TMP/acelabd" ./cmd/acelabd
+$GO build -o "$TMP/acelab" ./cmd/acelab
+
+PEERS="n0=http://$A0,n1=http://$A1,n2=http://$A2"
+"$TMP/acelabd" -addr "$A0" -node-id n0 -peers "$PEERS" -q &
+p0=$!
+"$TMP/acelabd" -addr "$A1" -node-id n1 -peers "$PEERS" -q &
+p1=$!
+"$TMP/acelabd" -addr "$A2" -node-id n2 -peers "$PEERS" -q &
+p2=$!
+trap 'kill "$p0" "$p1" "$p2" 2>/dev/null || true' EXIT
+
+wait_up() {
+    i=0
+    until "$TMP/acelab" -server "http://$1" metrics >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 100 ] && { echo "cluster-smoke: daemon on $1 never came up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+wait_up "$A0"; wait_up "$A1"; wait_up "$A2"
+
+# Pull a counter out of a node's /metrics JSON; omitted (omitempty)
+# counters read as 0.
+metric() {
+    "$TMP/acelab" -server "http://$1" metrics \
+        | sed -n "s/^.*\"$2\": \([0-9][0-9]*\).*$/\1/p" | head -n 1 | grep . || echo 0
+}
+
+echo "cluster-smoke: 3-node ring up; running the default evaluation via n0"
+"$TMP/acelab" -server "http://$A0" run '{}' > "$TMP/acedo_cluster.json"
+
+$GO run ./cmd/acetables -json "$TMP/acedo_cluster_direct.json" -q
+cmp "$TMP/acedo_cluster.json" "$TMP/acedo_cluster_direct.json"
+echo "cluster-smoke: routed result byte-identical to acetables -json"
+
+instr_before=$(( $(metric "$A0" instr_simulated) + $(metric "$A1" instr_simulated) + $(metric "$A2" instr_simulated) ))
+
+# The spec was executed — and cached — on exactly one node. The other
+# two must answer the repeat from the cluster-wide cache by forwarding
+# to the owner.
+for a in "$A1" "$A2"; do
+    "$TMP/acelab" -server "http://$a" submit '{}' > "$TMP/acedo_cluster_hit.json"
+    grep -q '"cached": true' "$TMP/acedo_cluster_hit.json"
+    grep -q '"state": "done"' "$TMP/acedo_cluster_hit.json"
+done
+echo "cluster-smoke: repeats from the other two nodes answered from the cluster cache"
+
+instr_after=$(( $(metric "$A0" instr_simulated) + $(metric "$A1" instr_simulated) + $(metric "$A2" instr_simulated) ))
+[ "$instr_before" -eq "$instr_after" ] || {
+    echo "cluster-smoke: repeats re-simulated ($instr_before -> $instr_after instructions)" >&2
+    exit 1
+}
+forwards=$(( $(metric "$A0" jobs_forwarded) + $(metric "$A1" jobs_forwarded) + $(metric "$A2" jobs_forwarded) ))
+[ "$forwards" -eq 2 ] || {
+    echo "cluster-smoke: $forwards forwards across the ring, want exactly 2 (the two non-owner touches)" >&2
+    exit 1
+}
+echo "cluster-smoke: instr_simulated frozen across repeats; exactly 2 forwards cluster-wide"
+
+# Batch fan-out: a JSON-array spec against the whole membership must
+# come back as one merged JSON array with every element answered.
+"$TMP/acelab" -server "http://$A0,http://$A1,http://$A2" run \
+    '[{"benchmarks":["compress"],"max_instr":200000},{"benchmarks":["compress"],"max_instr":300000}]' \
+    > "$TMP/acedo_cluster_batch.json"
+head -c 1 "$TMP/acedo_cluster_batch.json" | grep -q '\[' || {
+    echo "cluster-smoke: batch output is not a JSON array" >&2
+    exit 1
+}
+grep -q '^null' "$TMP/acedo_cluster_batch.json" && {
+    echo "cluster-smoke: batch output has a failed (null) element" >&2
+    exit 1
+}
+echo "cluster-smoke: JSON-array spec fanned out and merged"
+
+kill "$p0" "$p1" "$p2" 2>/dev/null || true
+wait "$p0" "$p1" "$p2" 2>/dev/null || true
+trap - EXIT
+
+# Partition: m0 is cut off from every peer by an injected drop plan.
+# A spec it does not own must still run — locally, with the same
+# bytes — and its healthz must show both peers unreachable.
+B0=${B0:-127.0.0.1:8341}
+B1=${B1:-127.0.0.1:8342}
+B2=${B2:-127.0.0.1:8343}
+BPEERS="m0=http://$B0,m1=http://$B1,m2=http://$B2"
+cat > "$TMP/acedo_partition.json" <<'EOF'
+{"rules": [{"point": "peer", "kind": "drop"}]}
+EOF
+"$TMP/acelabd" -addr "$B0" -node-id m0 -peers "$BPEERS" -service-faults "$TMP/acedo_partition.json" -q &
+q0=$!
+"$TMP/acelabd" -addr "$B1" -node-id m1 -peers "$BPEERS" -q &
+q1=$!
+"$TMP/acelabd" -addr "$B2" -node-id m2 -peers "$BPEERS" -q &
+q2=$!
+trap 'kill "$q0" "$q1" "$q2" 2>/dev/null || true' EXIT
+wait_up "$B0"; wait_up "$B1"; wait_up "$B2"
+
+SPEC='{"benchmarks":["compress"]}'
+"$TMP/acelab" -server "http://$B1" run "$SPEC" > "$TMP/acedo_part_healthy.json"
+"$TMP/acelab" -server "http://$B0" run "$SPEC" > "$TMP/acedo_part_degraded.json"
+cmp "$TMP/acedo_part_healthy.json" "$TMP/acedo_part_degraded.json"
+echo "cluster-smoke: partitioned node degraded to local execution with identical bytes"
+
+# Whoever owns the spec, the partitioned node could not have reached
+# it: either the forward failed (forward_failures moved) or m0 owns
+# the spec itself — but it must never have routed a job out.
+[ "$(metric "$B0" jobs_forwarded)" -eq 0 ] || {
+    echo "cluster-smoke: partitioned node claims a successful forward" >&2
+    exit 1
+}
+"$TMP/acelab" -server "http://$B0" health > "$TMP/acedo_part_health.json"
+grep -q '"m1": "unreachable' "$TMP/acedo_part_health.json"
+grep -q '"m2": "unreachable' "$TMP/acedo_part_health.json"
+"$TMP/acelab" -server "http://$B1" health > "$TMP/acedo_part_health1.json"
+grep -q '"m2": "ok"' "$TMP/acedo_part_health1.json"
+echo "cluster-smoke: healthz reports the partition from the cut-off node only"
+
+kill -TERM "$q0" "$q1" "$q2"
+wait "$q0" "$q1" "$q2" 2>/dev/null || true
+trap - EXIT
+echo "cluster-smoke: SIGTERM drained all nodes cleanly"
+echo "cluster-smoke: ok"
